@@ -1,0 +1,128 @@
+"""Figure 2 — kernel profiling: computation / communication / data
+movement within Filter, QR, Rayleigh-Ritz and Residuals.
+
+The paper's weak-scaling profile: node counts 1 -> 64, matrix size
+30k -> 240k, nev+nex = 3000, a single ChASE iteration, three library
+configurations (LMS = v1.2, STD = new scheme + staged MPI, NCCL = new
+scheme + device-resident NCCL).
+
+Shape targets at 64 nodes (paper Sec. 4.4): STD over LMS ~{1.6, 22, 10,
+8}x for {Filter, QR, RR, Resid}; NCCL over LMS ~{3.8, 1149, 23, 33}x;
+NCCL's data-movement bars vanish entirely; on 1 node the LMS filter is
+the fastest (4 GPUs per rank, no inter-rank transfers).
+"""
+
+from __future__ import annotations
+
+
+from benchmarks._common import emit, weak_scaling_point
+from repro.reporting import render_stacked_bars, render_table
+from repro.runtime import CommBackend
+
+NODE_COUNTS = (1, 4, 16, 64)
+CONFIGS = (
+    ("LMS", CommBackend.MPI_STAGED, "lms"),
+    ("STD", CommBackend.MPI_STAGED, "new"),
+    ("NCCL", CommBackend.NCCL, "new"),
+)
+PHASES = ("Filter", "QR", "RR", "Resid")
+
+
+def _profile(nodes: int):
+    out = {}
+    for label, backend, scheme in CONFIGS:
+        res = weak_scaling_point(nodes, backend, scheme)
+        out[label] = res.timings
+    return out
+
+
+def test_fig2_kernel_breakdown(benchmark):
+    rows = []
+    profiles = {n: _profile(n) for n in NODE_COUNTS}
+    for nodes, prof in profiles.items():
+        for label in ("LMS", "STD", "NCCL"):
+            for ph in PHASES:
+                b = prof[label][ph]
+                rows.append(
+                    [
+                        nodes,
+                        label,
+                        ph,
+                        round(b.compute, 3),
+                        round(b.comm, 3),
+                        round(b.datamove, 3),
+                        round(b.total, 3),
+                    ]
+                )
+    bars = []
+    for label in ("LMS", "STD", "NCCL"):
+        for ph in PHASES:
+            b = profiles[64][label][ph]
+            bars.append(
+                (f"{label}/{ph}",
+                 {"compute": b.compute, "comm": b.comm,
+                  "datamove": b.datamove})
+            )
+    emit(
+        "fig2_kernels",
+        render_table(
+            ["Nodes", "Config", "Kernel", "compute (s)",
+             "comm (s)", "datamove (s)", "total (s)"],
+            rows,
+            title=(
+                "Figure 2 — per-kernel cost split, weak scaling "
+                "(N = 30k x sqrt(nodes), ne = 3000, 1 iteration)"
+            ),
+        )
+        + "\n\n"
+        + render_stacked_bars(
+            "Figure 2 at 64 nodes (stacked bars, log-free scale)",
+            bars,
+        ),
+    )
+
+    p64 = profiles[64]
+    # NCCL eliminates all data movement (paper Sec. 3.3 / Fig. 2)
+    for ph in PHASES:
+        assert p64["NCCL"][ph].datamove == 0.0, ph
+        assert p64["STD"][ph].datamove > 0.0 or ph == "RR", ph
+    # ordering LMS > STD > NCCL for every kernel at 64 nodes
+    for ph in PHASES:
+        assert p64["LMS"][ph].total > p64["STD"][ph].total > p64["NCCL"][ph].total, ph
+    # the QR gap is by far the largest (the paper's 1149x observation)
+    qr_gap = p64["LMS"]["QR"].total / p64["NCCL"]["QR"].total
+    other = max(
+        p64["LMS"][ph].total / p64["NCCL"][ph].total
+        for ph in ("Filter", "RR", "Resid")
+    )
+    assert qr_gap > 50
+    assert qr_gap > 3 * other
+    # on 1 node the LMS filter (4 GPUs per rank, 1x1 grid) is fastest
+    p1 = profiles[1]
+    assert p1["LMS"]["Filter"].total <= p1["STD"]["Filter"].total
+
+    benchmark.pedantic(_profile, args=(4,), rounds=1, iterations=1)
+
+
+def test_fig2_speedup_summary(benchmark):
+    prof = _profile(64)
+    rows = []
+    for ph in PHASES:
+        lms, std, nccl = (prof[c][ph].total for c in ("LMS", "STD", "NCCL"))
+        rows.append(
+            [ph, round(lms / std, 1), round(lms / nccl, 1), round(std / nccl, 1)]
+        )
+    emit(
+        "fig2_speedups",
+        render_table(
+            ["Kernel", "STD over LMS", "NCCL over LMS", "NCCL over STD"],
+            rows,
+            title=(
+                "Figure 2 summary at 64 nodes "
+                "(paper: {1.6,22,10,8} / {3.8,1149,23,33} / {2.3,51,2.2,4})"
+            ),
+        ),
+    )
+    benchmark.pedantic(
+        weak_scaling_point, args=(1, CommBackend.NCCL), rounds=1, iterations=1
+    )

@@ -1,0 +1,130 @@
+"""Table 2 — ChASE(NCCL) with HHQR vs CholeskyQR.
+
+For every Table 1 problem:
+
+1. a *numeric* solve of the scaled instance runs twice — once forcing
+   ScaLAPACK-HHQR, once with the Algorithm 4 CholeskyQR selection —
+   verifying the paper's observation that both give the **same MatVecs
+   and iteration counts** (the QR variant changes performance, not
+   convergence);
+2. the recorded convergence trace, rescaled to the full subspace width,
+   is replayed in phantom mode at the paper's full problem size on
+   4 JUWELS-Booster nodes, regenerating the Table 2 columns
+   ``All (s)`` and ``QR (s)``.
+
+Shape targets (paper Table 2): identical MatVecs/Iters columns; QR time
+smaller by 1-3 orders of magnitude with CholeskyQR; the largest gap for
+TiO2 29k (>1000 eigenpairs sought).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks._common import emit, make_phantom_solver
+from repro import ChaseConfig, ChaseSolver
+from repro.core.lanczos import SpectralBounds
+from repro.distributed import DistributedHermitian
+from repro.matrices import TABLE1, build_problem, get_problem
+from repro.reporting import render_table
+from repro.runtime import CommBackend, Grid2D, VirtualCluster
+
+SCALE_N = 260
+NODES = 4  # the paper's Table 2 runs on 4 nodes
+
+
+def _numeric(name: str, qr_mode: str):
+    H, prob = build_problem(name, N_target=SCALE_N)
+    cluster = VirtualCluster(4, backend=CommBackend.NCCL)
+    grid = Grid2D(cluster)
+    Hd = DistributedHermitian.from_dense(grid, H)
+    solver = ChaseSolver(
+        grid, Hd, ChaseConfig(nev=prob.nev, nex=prob.nex), qr_mode=qr_mode
+    )
+    return solver.solve(rng=np.random.default_rng(17))
+
+
+def _paper_scale(name: str, trace, force_hhqr: bool):
+    full = get_problem(name)
+    replay = trace.rescale_columns(full.nev + full.nex)
+    if force_hhqr:
+        for rec in replay.records:
+            rec.qr_variant = "HHQR"
+    solver = make_phantom_solver(
+        NODES, full.N, full.nev, full.nex, CommBackend.NCCL,
+        dtype=np.complex128,
+    )
+    res = solver.solve_phantom(
+        replay, bounds=SpectralBounds(3.0, -1.0, 1.0)
+    )
+    return res
+
+
+def test_table2_hhqr_vs_choleskyqr(benchmark):
+    rows = []
+    for name in sorted(TABLE1):
+        res_hh = _numeric(name, "hhqr")
+        res_ch = _numeric(name, "auto")
+        # the paper's key observation: identical convergence behaviour
+        assert res_hh.iterations == res_ch.iterations, name
+        assert res_hh.matvecs == res_ch.matvecs, name
+        assert res_hh.converged and res_ch.converged, name
+
+        pap_hh = _paper_scale(name, res_hh.trace, force_hhqr=True)
+        pap_ch = _paper_scale(name, res_ch.trace, force_hhqr=False)
+        for label, pap, res in (
+            ("HHQR", pap_hh, res_hh),
+            ("CholeskyQR", pap_ch, res_ch),
+        ):
+            rows.append(
+                [
+                    name,
+                    label,
+                    pap.matvecs,
+                    res.iterations,
+                    round(pap.makespan, 2),
+                    round(pap.timings["QR"].total, 2),
+                ]
+            )
+        # Table 2 shape: CholeskyQR's QR time is 1-3 orders faster and the
+        # total time strictly better
+        assert pap_ch.timings["QR"].total < pap_hh.timings["QR"].total / 5, name
+        assert pap_ch.makespan < pap_hh.makespan, name
+    emit(
+        "table2_qr",
+        render_table(
+            ["Type", "QR Impl.", "MatVecs", "Iters", "All (s)", "QR (s)"],
+            rows,
+            title=(
+                "Table 2 — ChASE(NCCL) HHQR vs CholeskyQR "
+                f"(modeled on {NODES} JUWELS-Booster nodes at full size; "
+                "MatVecs/Iters from numeric scaled runs)"
+            ),
+        ),
+    )
+    benchmark.pedantic(
+        _numeric, args=("NaCl-9k", "auto"), rounds=1, iterations=1
+    )
+
+
+def test_table2_largest_gap_above_1000_eigenpairs(benchmark):
+    """'CholeskyQR greatly enhances performance ... when more than 1,000
+    eigenpairs are sought after' — TiO2 29k shows the largest QR gap."""
+    gaps = {}
+    for name in ("NaCl-9k", "TiO2-29k"):
+        res = _numeric(name, "auto")
+        hh = _paper_scale(name, res.trace, True)
+        ch = _paper_scale(name, res.trace, False)
+        gaps[name] = hh.timings["QR"].total / ch.timings["QR"].total
+    assert gaps["TiO2-29k"] > gaps["NaCl-9k"]
+    emit(
+        "table2_gap",
+        render_table(
+            ["Problem", "QR(HHQR)/QR(CholeskyQR)"],
+            [[k, round(v, 1)] for k, v in gaps.items()],
+            title="Table 2 — QR speedup grows with the eigenpair count",
+        ),
+    )
+    benchmark.pedantic(
+        _numeric, args=("TiO2-29k", "auto"), rounds=1, iterations=1
+    )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Capacity planning: how long will my big eigenproblem take, on how
+many nodes — *before* running it anywhere.
+
+The workflow chains three pieces of the library:
+
+1. estimate the spectral *bounds* of a small related problem
+   (stochastic Lanczos DoS) and take the fine structure of the lowest
+   eigenvalues from domain knowledge (here: the BSE spectral model; in
+   practice a previous SCF cycle or a cheaper basis would supply it —
+   a low-resolution DoS cannot resolve 1% quantiles);
+2. feed the quantile estimates to the analytic convergence planner,
+   which predicts ChASE's iteration structure as a replayable trace;
+3. replay the trace in phantom mode at the target size on candidate
+   node counts of the simulated JUWELS-Booster.
+
+    python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro import ChaseConfig, ChaseSolver
+from repro.core.dos import estimate_spectral_density
+from repro.core.planner import plan_convergence
+from repro.distributed import DistributedHermitian
+from repro.matrices import build_problem
+from repro.runtime import CommBackend, Grid2D, VirtualCluster
+
+
+def main() -> None:
+    # step 1: DoS of a small instance of the target problem family
+    H_small, _prob = build_problem("In2O3-115k", N_target=500)
+    dos = estimate_spectral_density(
+        H_small, steps=40, runs=8, rng=np.random.default_rng(0)
+    )
+    print("step 1: spectral density of a 500-dim related problem")
+    print(f"        interval [{dos.lower:.2f}, {dos.upper:.2f}]")
+
+    # step 2: plan the full-size solve (the paper's Fig. 3b setup)
+    from repro.matrices import bse_spectrum
+
+    N_target, nev, nex = 115_459, 1200, 400
+    cfg = ChaseConfig(nev=nev, nex=nex)
+    # fine structure of the lowest ne eigenvalues from the spectral
+    # model; the DoS supplies the safe upper bound
+    lam_est = bse_spectrum(N_target)[: nev + nex]
+    trace = plan_convergence(lam_est, max(dos.upper, lam_est[-1] + 1.0), cfg)
+    print(f"\nstep 2: planned {trace.iterations} iterations, "
+          f"{trace.total_matvecs} column-MatVecs")
+
+    # step 3: phantom replay on candidate allocations
+    print("\nstep 3: predicted time-to-solution on JUWELS-Booster "
+          "(ChASE(NCCL)):")
+    print(f"{'nodes':>6} {'GPUs':>6} {'predicted (s)':>14}")
+    for nodes in (4, 16, 64, 144):
+        cluster = VirtualCluster(
+            nodes * 4, backend=CommBackend.NCCL, ranks_per_node=4,
+            phantom=True,
+        )
+        grid = Grid2D(cluster)
+        Hp = DistributedHermitian.phantom(grid, N_target, np.complex128)
+        res = ChaseSolver(grid, Hp, cfg).solve_phantom(trace)
+        print(f"{nodes:6d} {nodes * 4:6d} {res.makespan:14.2f}")
+
+    print("\n(the paper measured 65 s on 4 nodes and 3.5 s on 144; the "
+          "plan is a\nconservative upper estimate — the BSE continuum "
+          "edge is dense, and the\nplanner assumes worst-case overlap "
+          "where the real run benefits from\nspectral gaps opening as "
+          "pairs lock)")
+
+
+if __name__ == "__main__":
+    main()

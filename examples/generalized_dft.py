@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Generalized eigenproblems: the native form of DFT Hamiltonians.
+
+FLAPW codes such as FLEUR (the source of the paper's Table 1 DFT
+matrices) produce pencils ``(H, S)`` — a Hamiltonian plus an overlap
+matrix — and solve ``H x = lambda S x``.  This example builds a
+synthetic pencil with a DFT-like spectrum, solves it through the
+Cholesky-reduction pipeline around ChASE, and verifies the
+S-orthonormality of the resulting states against SciPy's direct
+generalized eigensolver.
+
+    python examples/generalized_dft.py
+"""
+
+import numpy as np
+import scipy.linalg
+
+from repro import ChaseConfig
+from repro.core.generalized import chase_generalized
+from repro.matrices import dft_spectrum, matrix_with_spectrum
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    N, nev, nex = 400, 25, 12
+
+    # a DFT-like Hamiltonian and a well-conditioned overlap matrix
+    # (overlaps are diagonally dominant: basis functions nearly orthogonal)
+    H = matrix_with_spectrum(dft_spectrum(N), rng, dtype=np.complex128)
+    B = rng.standard_normal((N, N)) + 1j * rng.standard_normal((N, N))
+    S = np.eye(N) + 0.1 * (B @ B.conj().T) / N
+    S = 0.5 * (S + S.conj().T)
+
+    print(f"pencil: N={N}, kappa(S)={np.linalg.cond(S):.2f}")
+    res = chase_generalized(
+        H, S, ChaseConfig(nev=nev, nex=nex), rng=np.random.default_rng(1)
+    )
+    print(f"converged: {res.converged} in {res.iterations} iterations, "
+          f"{res.matvecs} MatVecs (on the reduced operator)")
+
+    ref = scipy.linalg.eigh(H, S, subset_by_index=(0, nev - 1))[0]
+    err = np.abs(res.eigenvalues - ref).max()
+    print(f"max |lambda - scipy|: {err:.2e}")
+
+    X = res.eigenvectors
+    gram = X.conj().T @ S @ X
+    print(f"S-orthonormality ||X^H S X - I||: "
+          f"{np.abs(gram - np.eye(nev)).max():.2e}")
+    R = H @ X - (S @ X) * res.eigenvalues[None, :]
+    print(f"max pencil residual ||Hx - lambda Sx||: "
+          f"{np.abs(R).max():.2e}")
+    assert res.converged and err < 1e-8
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""How the condition-number estimate steers the QR variant (Sec. 3.2).
+
+Solves a problem whose filtered blocks pass through very different
+conditioning regimes and shows, per iteration, the cost-free Algorithm 5
+estimate, the SVD-computed condition number, and the CholeskyQR variant
+Algorithm 4 selected — the estimate always bounds the truth, so the
+cheapest *safe* variant is picked every time.
+
+    python examples/qr_selection_demo.py
+"""
+
+import numpy as np
+
+from repro import ChaseConfig, ChaseSolver
+from repro.distributed import DistributedHermitian
+from repro.matrices import build_problem
+from repro.runtime import CommBackend, Grid2D, VirtualCluster
+
+
+def main() -> None:
+    H, prob = build_problem("AuAg-13k", N_target=300)
+    print(f"scaled {prob.name}: N={prob.N}, nev={prob.nev}, nex={prob.nex}\n")
+
+    seen = []
+    cfg = ChaseConfig(
+        nev=prob.nev, nex=prob.nex,
+        on_iteration=seen.append, compute_true_cond=True,
+    )
+    cluster = VirtualCluster(4, backend=CommBackend.NCCL)
+    grid = Grid2D(cluster)
+    Hd = DistributedHermitian.from_dense(grid, H)
+    res = ChaseSolver(grid, Hd, cfg).solve(rng=np.random.default_rng(4))
+
+    print(f"{'iter':>4} {'locked':>6} {'kappa_est':>11} {'kappa_com':>11} "
+          f"{'bound?':>6}  QR variant")
+    for s in seen:
+        ok = "yes" if s["cond_est"] >= s["cond_true"] * 0.99 else "NO"
+        print(f"{s['iteration']:4d} {s['locked']:6d} {s['cond_est']:11.3e} "
+              f"{s['cond_true']:11.3e} {ok:>6}  {s['qr'].variant}")
+
+    print(f"\nconverged: {res.converged} in {res.iterations} iterations")
+    print("variants used:", res.qr_variants)
+    # the selection thresholds (Algorithm 4)
+    print("\nselection rule: est > 1e8 -> shifted CholeskyQR2;"
+          " est < 20 -> CholeskyQR1; else CholeskyQR2"
+          " (HHQR only as breakdown rescue)")
+    assert res.converged
+
+
+if __name__ == "__main__":
+    main()

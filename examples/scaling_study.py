@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Paper-scale scaling study in phantom (performance-model-only) mode.
+
+Runs the paper's weak-scaling workload (Fig. 3a: N = 30k x sqrt(nodes),
+ne = 3000, one ChASE iteration) through the identical solver code path
+with metadata-only buffers, so node counts up to 900 (N = 900k — a
+6.5 TB matrix) cost only seconds of wall time.
+
+    python examples/scaling_study.py [max_nodes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ChaseConfig, ChaseSolver, ConvergenceTrace
+from repro.distributed import DistributedHermitian
+from repro.runtime import CommBackend, Grid2D, VirtualCluster
+
+
+def weak_point(nodes: int, backend: CommBackend, scheme: str = "new") -> float:
+    rpn, gpr = (1, 4) if scheme == "lms" else (4, 1)
+    cluster = VirtualCluster(
+        nodes * rpn, backend=backend, ranks_per_node=rpn,
+        gpus_per_rank=gpr, phantom=True,
+    )
+    grid = Grid2D(cluster)
+    N = 30_000 * int(round(np.sqrt(nodes)))
+    H = DistributedHermitian.phantom(grid, N, np.float64)
+    solver = ChaseSolver(
+        grid, H, ChaseConfig(nev=2250, nex=750, deg=20), scheme=scheme
+    )
+    res = solver.solve_phantom(ConvergenceTrace.fixed(1, 3000, deg=20))
+    return res.makespan
+
+
+def main() -> None:
+    max_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 144
+    nodes_list = [n for n in (1, 4, 9, 16, 25, 64, 144, 256, 400, 900)
+                  if n <= max_nodes]
+
+    print("weak scaling on the simulated JUWELS-Booster "
+          "(time per ChASE iteration, seconds)\n")
+    print(f"{'nodes':>6} {'N':>8} {'NCCL':>8} {'STD':>8} {'LMS':>10}")
+    for nodes in nodes_list:
+        N = 30_000 * int(round(np.sqrt(nodes)))
+        t_nccl = weak_point(nodes, CommBackend.NCCL)
+        t_std = weak_point(nodes, CommBackend.MPI_STAGED)
+        try:
+            t_lms = f"{weak_point(nodes, CommBackend.MPI_STAGED, 'lms'):8.2f}"
+        except MemoryError:
+            t_lms = "   (OOM)"  # the paper's >144-node memory wall
+        print(f"{nodes:6d} {N // 1000:>7}k {t_nccl:8.2f} {t_std:8.2f} {t_lms:>10}")
+
+    print("\nNCCL stays nearly flat while STD pays growing MPI costs and")
+    print("LMS hits the v1.2 redundant-buffer memory wall beyond 144 nodes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Distributed solve on the simulated multi-GPU cluster.
+
+Distributes a dense symmetric matrix over a 2x2 grid of simulated
+JUWELS-Booster ranks, solves with all three library configurations the
+paper compares (LMS / STD / NCCL), verifies that every configuration
+returns the same eigenpairs, and prints the modeled per-kernel cost
+breakdown (the Fig. 2 view) for each.
+
+    python examples/simulated_cluster.py
+"""
+
+import numpy as np
+
+from repro import ChaseConfig, ChaseSolver
+from repro.distributed import DistributedHermitian
+from repro.matrices import uniform_matrix
+from repro.runtime import CommBackend, Grid2D, VirtualCluster
+
+
+def solve(H, cfg, backend, scheme, ranks_per_node, gpus_per_rank):
+    cluster = VirtualCluster(
+        4, backend=backend, ranks_per_node=ranks_per_node,
+        gpus_per_rank=gpus_per_rank,
+    )
+    grid = Grid2D(cluster)
+    Hd = DistributedHermitian.from_dense(grid, H)
+    solver = ChaseSolver(grid, Hd, cfg, scheme=scheme)
+    return solver.solve(rng=np.random.default_rng(3), return_vectors=True)
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    N, nev, nex = 500, 25, 12
+    H = uniform_matrix(N, rng=rng)
+    cfg = ChaseConfig(nev=nev, nex=nex)
+    w_ref = np.linalg.eigvalsh(H)[:nev]
+
+    configs = [
+        ("ChASE(LMS)  [v1.2: redundant QR/RR, 1 rank/node x 4 GPUs]",
+         CommBackend.MPI_STAGED, "lms", 1, 4),
+        ("ChASE(STD)  [new scheme, MPI + host staging]",
+         CommBackend.MPI_STAGED, "new", 4, 1),
+        ("ChASE(NCCL) [new scheme, device-resident NCCL]",
+         CommBackend.NCCL, "new", 4, 1),
+    ]
+    results = {}
+    for label, backend, scheme, rpn, gpr in configs:
+        res = solve(H, cfg, backend, scheme, rpn, gpr)
+        err = np.abs(res.eigenvalues - w_ref).max()
+        assert res.converged and err < 1e-8
+        results[label] = res
+        print(f"\n{label}")
+        print(f"  converged in {res.iterations} iterations, "
+              f"{res.matvecs} MatVecs, max eigenvalue error {err:.1e}")
+        print(f"  modeled time-to-solution: {res.makespan:.4f} s")
+        print(f"  {'kernel':8s} {'compute':>9s} {'comm':>9s} {'datamove':>9s}")
+        for ph in ("Lanczos", "Filter", "QR", "RR", "Resid"):
+            b = res.timings[ph]
+            print(f"  {ph:8s} {b.compute:9.5f} {b.comm:9.5f} {b.datamove:9.5f}")
+
+    t = {k: v.makespan for k, v in results.items()}
+    lms, std, nccl = t.values()
+    print(f"\nmodeled speedups: NCCL over LMS {lms / nccl:.2f}x, "
+          f"NCCL over STD {std / nccl:.2f}x")
+    print("note: at this miniature size the LMS configuration (one rank "
+          "driving 4 GPUs,\nno inter-rank filter traffic) remains "
+          "competitive — exactly the paper's 1-node\nobservation in Fig. 2; "
+          "its redundant QR/RR only become the bottleneck at scale\n"
+          "(see examples/scaling_study.py).")
+    assert nccl < std
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Genuine SPMD execution with OS threads.
+
+The simulated cluster orchestrates all ranks from one thread (which is
+what makes paper-scale phantom runs cheap).  This example shows the
+complementary runtime facet: `run_spmd` launches one *real thread per
+rank*, the collectives synchronize them with real barriers, and NumPy's
+GIL-releasing BLAS lets the rank-local work overlap — a distributed
+CholeskyQR2 and a Rayleigh quotient computed the way an MPI program
+would, inside one process.
+
+    python examples/spmd_threads.py
+"""
+
+import numpy as np
+
+from repro.matrices import uniform_matrix
+from repro.runtime.spmd import run_spmd
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    N, ne, p = 2000, 32, 4
+    H = uniform_matrix(N, rng=rng)
+    V = rng.standard_normal((N, ne))
+    rows = np.array_split(np.arange(N), p)
+
+    def program(ctx):
+        mine = rows[ctx.rank]
+        X = V[mine].copy()
+        # CholeskyQR2 across the thread "ranks"
+        for _rep in range(2):
+            G = ctx.allreduce(X.T @ X)
+            R = np.linalg.cholesky(0.5 * (G + G.T)).T
+            X = np.linalg.solve(R.T, X.T).T
+        # Rayleigh quotient of the orthonormalized block: each rank
+        # contributes X_i^T (H_i X) and the allreduce sums the pieces
+        parts = ctx.allgather(X)
+        Xfull = np.concatenate(parts)
+        local = X.T @ (H[mine] @ Xfull)
+        quot = ctx.allreduce(local)
+        lam = np.linalg.eigvalsh(0.5 * (quot + quot.T))
+        return lam
+
+    results = run_spmd(p, program)
+    lam = results[0]
+    for other in results[1:]:
+        assert np.allclose(other, lam)
+
+    print(f"{p} concurrent SPMD ranks orthonormalized a {N}x{ne} block "
+          "with CholeskyQR2")
+    print(f"lowest Ritz values of the random subspace: {np.round(lam[:4], 4)}")
+    # sanity: Ritz values bracketed by the true spectrum
+    w = np.linalg.eigvalsh(H)
+    assert w[0] - 1e-9 <= lam[0] and lam[-1] <= w[-1] + 1e-9
+    print("all ranks agreed; Ritz values inside the true spectral interval")
+
+
+if __name__ == "__main__":
+    main()

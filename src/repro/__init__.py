@@ -1,0 +1,55 @@
+"""repro — reproduction of the SC'23 multi-GPU ChASE eigensolver paper.
+
+Reproduces "Advancing the distributed Multi-GPU ChASE library through
+algorithm optimization and NCCL library" (Wu & Di Napoli, SC 2023) as a
+pure-Python system: the ChASE subspace eigensolver (Chebyshev filter,
+CholeskyQR-family orthonormalization with condition-estimate-driven
+selection, distributed Rayleigh-Ritz), executed on a *simulated*
+multi-GPU cluster whose collectives move real data while charging
+modeled time (JUWELS-Booster machine model, MPI vs NCCL backends).
+
+Quick start (serial oracle)::
+
+    import numpy as np
+    from repro import ChaseConfig, chase_serial
+    from repro.matrices import uniform_matrix
+
+    H = uniform_matrix(600, rng=np.random.default_rng(0))
+    res = chase_serial(H, ChaseConfig(nev=30, nex=15))
+    assert res.converged
+
+Distributed (simulated) solve::
+
+    from repro import ChaseSolver, ChaseConfig
+    from repro.runtime import VirtualCluster, Grid2D, CommBackend
+    from repro.distributed import DistributedHermitian
+
+    cluster = VirtualCluster(4, backend=CommBackend.NCCL)
+    grid = Grid2D(cluster)        # 2x2
+    Hd = DistributedHermitian.from_dense(grid, H)
+    solver = ChaseSolver(grid, Hd, ChaseConfig(nev=30, nex=15))
+    result = solver.solve(return_vectors=True)
+"""
+
+from repro.core import (
+    ChaseConfig,
+    ChaseResult,
+    ChaseSolver,
+    ConvergenceTrace,
+    EigenSequenceSolver,
+    IterationRecord,
+    chase_serial,
+)
+
+__version__ = "1.4.0"
+
+__all__ = [
+    "ChaseConfig",
+    "ChaseResult",
+    "ChaseSolver",
+    "ConvergenceTrace",
+    "EigenSequenceSolver",
+    "IterationRecord",
+    "chase_serial",
+    "__version__",
+]

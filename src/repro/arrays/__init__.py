@@ -1,0 +1,35 @@
+"""Array abstraction shared by the numeric and performance-only paths.
+
+The simulated runtime executes the *same* solver code in two modes:
+
+* **numeric** — rank-local buffers are real :class:`numpy.ndarray` objects
+  and every kernel performs the actual arithmetic;
+* **phantom** — buffers are :class:`PhantomArray` metadata records
+  (shape + dtype only) so the identical control flow can be driven at
+  paper scale (matrices up to ``N = 900k``) purely to exercise the
+  performance model.
+
+Kernels in :mod:`repro.runtime.device` dispatch on the buffer type via
+:func:`is_phantom`.
+"""
+
+from repro.arrays.phantom import PhantomArray, is_phantom, anyshape, anydtype
+from repro.arrays.dispatch import (
+    empty_any,
+    zeros_any,
+    column_slice,
+    itemsize_of,
+    nbytes_of,
+)
+
+__all__ = [
+    "PhantomArray",
+    "is_phantom",
+    "anyshape",
+    "anydtype",
+    "empty_any",
+    "zeros_any",
+    "column_slice",
+    "itemsize_of",
+    "nbytes_of",
+]

@@ -1,0 +1,44 @@
+"""Helpers that treat real and phantom arrays uniformly."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays.phantom import PhantomArray, is_phantom
+
+__all__ = ["empty_any", "zeros_any", "column_slice", "itemsize_of", "nbytes_of"]
+
+
+def empty_any(shape, dtype, phantom: bool):
+    """Allocate a buffer: phantom metadata or a real empty ndarray."""
+    if phantom:
+        return PhantomArray(tuple(shape), np.dtype(dtype))
+    return np.empty(shape, dtype=dtype)
+
+
+def zeros_any(shape, dtype, phantom: bool):
+    """Allocate a zero buffer (phantom allocation carries no data)."""
+    if phantom:
+        return PhantomArray(tuple(shape), np.dtype(dtype))
+    return np.zeros(shape, dtype=dtype)
+
+
+def column_slice(x, start: int, stop: int | None = None):
+    """``x[:, start:stop]`` working for both array kinds.
+
+    For real arrays this returns a *view* (the solver relies on in-place
+    updates through it); for phantoms a sliced metadata record.
+    """
+    if is_phantom(x):
+        return x.cols(start, stop)
+    return x[:, slice(start, stop)]
+
+
+def itemsize_of(x) -> int:
+    return np.dtype(x.dtype).itemsize
+
+
+def nbytes_of(x) -> int:
+    if is_phantom(x):
+        return x.nbytes
+    return int(np.asarray(x).nbytes)

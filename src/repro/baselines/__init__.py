@@ -1,0 +1,26 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.scalapack_qr` — 1D ScaLAPACK-style Householder
+  QR (the "HHQR" of Table 2 and the robustness fallback of Algorithm 4);
+* :mod:`repro.baselines.elpa` — ELPA1/ELPA2 strong-scaling cost models
+  (Fig. 3b) plus the LAPACK reference path;
+* :mod:`repro.baselines.elpa_numeric` — a working numeric two-stage
+  (dense -> band -> tridiagonal) eigensolver in the style of ELPA2.
+"""
+
+from repro.baselines.scalapack_qr import hhqr_1d
+from repro.baselines.elpa import ElpaModel, ElpaVariant, elpa_solve_dense
+from repro.baselines.elpa_numeric import band_eigh, elpa2_numeric, reduce_to_band
+from repro.baselines.elpa_distributed import DistributedElpa, ElpaRunResult
+
+__all__ = [
+    "hhqr_1d",
+    "ElpaModel",
+    "ElpaVariant",
+    "elpa_solve_dense",
+    "reduce_to_band",
+    "band_eigh",
+    "elpa2_numeric",
+    "DistributedElpa",
+    "ElpaRunResult",
+]

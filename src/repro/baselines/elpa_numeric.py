@@ -1,0 +1,152 @@
+"""Numeric two-stage direct eigensolver in the style of ELPA2.
+
+ELPA2's distinguishing feature (vs one-stage ELPA1 / LAPACK ``heevd``)
+is the *two-stage* tridiagonalization: the dense matrix is first reduced
+to **band** form with blocked Householder transformations — rich in
+GEMM, hence GPU-friendly — and only then to tridiagonal form.  This
+module implements the first stage for real (the successive band
+reduction of Bischof/Lang/Sun) and solves the banded problem with a
+banded eigensolver, back-transforming the eigenvectors through the
+accumulated block reflectors:
+
+    H  --(blocked Householder panels)-->  B (bandwidth b)
+    B  --(banded divide & conquer)----->  (Lambda, V_b)
+    V = Q1 V_b
+
+The implementation uses LAPACK's implicit-Q machinery (``geqrf`` +
+``ormqr``/``unmqr``) so each panel's two-sided update costs GEMM-level
+work and the whole reduction is O(N^3) with O(N^2) memory.
+
+This is the *numeric* counterpart of the performance model in
+:mod:`repro.baselines.elpa`; tests validate both against LAPACK.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+from scipy.linalg import lapack
+
+__all__ = ["reduce_to_band", "band_eigh", "elpa2_numeric"]
+
+
+def _qr_raw(panel: np.ndarray):
+    """LAPACK GEQRF: packed Householder factors of ``panel``."""
+    geqrf = lapack.zgeqrf if np.iscomplexobj(panel) else lapack.dgeqrf
+    qr, tau, _work, info = geqrf(panel, lwork=-1)
+    qr, tau, _work, info = geqrf(panel)
+    if info != 0:
+        raise np.linalg.LinAlgError(f"geqrf failed with info={info}")
+    return qr, tau
+
+
+def _apply_q(qr, tau, X, side: str, trans: bool):
+    """``Q X`` / ``Q^H X`` / ``X Q`` / ``X Q^H`` with implicit ``Q``.
+
+    ``ormqr`` consumes exactly ``k = len(tau)`` reflector columns; wide
+    (ragged tail) panels carry fewer reflectors than columns.
+    """
+    qr = qr[:, : tau.shape[0]]
+    complex_ = np.iscomplexobj(qr) or np.iscomplexobj(X)
+    if complex_:
+        ormqr = lapack.zunmqr
+        tchar = "C" if trans else "N"
+        qr = qr.astype(np.complex128)
+        X = np.asfortranarray(X, dtype=np.complex128)
+        tau = tau.astype(np.complex128)
+    else:
+        ormqr = lapack.dormqr
+        tchar = "T" if trans else "N"
+        X = np.asfortranarray(X)
+    _out, work, info = ormqr(side, tchar, qr, tau, X, lwork=-1)
+    lwork = int(work[0].real)
+    out, _work, info = ormqr(side, tchar, qr, tau, X, lwork=lwork)
+    if info != 0:
+        raise np.linalg.LinAlgError(f"ormqr failed with info={info}")
+    return out
+
+
+def reduce_to_band(H: np.ndarray, band: int) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce Hermitian ``H`` to band form with bandwidth ``band``.
+
+    Returns ``(B, Q1)`` with ``B = Q1^H H Q1`` banded (``|i-j| > band``
+    entries zero) and ``Q1`` unitary.
+    """
+    H = np.asarray(H)
+    N = H.shape[0]
+    if H.shape != (N, N):
+        raise ValueError("H must be square")
+    if not 1 <= band < max(N, 2):
+        raise ValueError(f"band must be in [1, N), got {band}")
+    A = np.array(H, order="F")
+    Q1 = np.eye(N, dtype=A.dtype, order="F")
+
+    for k in range(0, N - band - 1, band):
+        lo = k + band              # first row below the band
+        panel = np.asfortranarray(A[lo:, k : k + band])
+        m, b = panel.shape
+        if m <= 1:
+            break
+        qr, tau = _qr_raw(panel)
+        # write R into the panel position (the band's lower edge)
+        R = np.triu(qr[:b, :])
+        A[lo:, k : k + band] = 0.0
+        A[lo : lo + R.shape[0], k : k + band] = R
+        A[k : k + band, lo:] = A[lo:, k : k + band].conj().T
+        # two-sided update of the trailing block: A22 <- Q^H A22 Q
+        A22 = A[lo:, lo:]
+        A22 = _apply_q(qr, tau, A22, side="L", trans=True)
+        A22 = _apply_q(qr, tau, A22, side="R", trans=False)
+        A[lo:, lo:] = 0.5 * (A22 + A22.conj().T)  # keep exactly Hermitian
+        # accumulate the back-transform
+        Q1[:, lo:] = _apply_q(qr, tau, Q1[:, lo:], side="R", trans=False)
+
+    # clean numerical noise outside the band
+    B = np.array(A)
+    for d in range(band + 1, N):
+        idx = np.arange(N - d)
+        B[idx, idx + d] = 0.0
+        B[idx + d, idx] = 0.0
+    return B, np.array(Q1)
+
+
+def band_eigh(
+    B: np.ndarray, band: int, nev: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eigenpairs of a Hermitian band matrix (ELPA2's second+third stage).
+
+    Uses the banded storage path (LAPACK ``hbevx``-family through
+    SciPy); returns the lowest ``nev`` pairs (all if ``None``).
+    """
+    N = B.shape[0]
+    nev = N if nev is None else nev
+    if not 1 <= nev <= N:
+        raise ValueError(f"nev={nev} out of range")
+    # lower banded storage: a_band[d, j] = B[j+d, j]
+    a_band = np.zeros((band + 1, N), dtype=B.dtype)
+    for d in range(band + 1):
+        a_band[d, : N - d] = np.diagonal(B, -d)
+    if nev == N:
+        w, V = scipy.linalg.eig_banded(a_band, lower=True)
+    else:
+        w, V = scipy.linalg.eig_banded(
+            a_band, lower=True, select="i", select_range=(0, nev - 1)
+        )
+    return w, V
+
+
+def elpa2_numeric(
+    H: np.ndarray, nev: int, band: int = 16
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lowest ``nev`` eigenpairs via the two-stage path.
+
+    ``band`` mirrors ELPA's intermediate bandwidth (the paper's runs use
+    a block size of 16).
+    """
+    N = np.asarray(H).shape[0]
+    if not 1 <= nev <= N:
+        raise ValueError(f"nev={nev} out of range for N={N}")
+    band = min(band, max(N - 2, 1))
+    B, Q1 = reduce_to_band(H, band)
+    w, Vb = band_eigh(B, band, nev)
+    return w, Q1 @ Vb

@@ -1,0 +1,28 @@
+"""The ChASE algorithm — the paper's primary contribution.
+
+Public entry points:
+
+* :class:`repro.core.chase.ChaseSolver` — the distributed solver
+  (Algorithm 2) with the *new* parallelization scheme or the legacy
+  v1.2 *LMS* scheme;
+* :class:`repro.core.config.ChaseConfig` — solver parameters;
+* :func:`repro.core.serial.chase_serial` — single-process reference
+  implementation used as oracle by the test-suite.
+"""
+
+from repro.core.config import ChaseConfig
+from repro.core.chase import ChaseSolver, ChaseResult
+from repro.core.serial import chase_serial
+from repro.core.sequence import EigenSequenceSolver, SequenceStep
+from repro.core.trace import ConvergenceTrace, IterationRecord
+
+__all__ = [
+    "ChaseConfig",
+    "ChaseSolver",
+    "ChaseResult",
+    "chase_serial",
+    "EigenSequenceSolver",
+    "SequenceStep",
+    "ConvergenceTrace",
+    "IterationRecord",
+]

@@ -1,0 +1,84 @@
+"""Solver configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ChaseConfig"]
+
+
+@dataclass
+class ChaseConfig:
+    """Parameters of the ChASE solver (paper defaults in brackets).
+
+    Attributes
+    ----------
+    nev:
+        Number of wanted (lowest) eigenpairs.
+    nex:
+        Extra search-space columns (must be >= 1); the subspace has
+        ``ne = nev + nex`` columns.  ChASE targets ``nev <= ~10%`` of
+        the spectrum and the paper's runs use ``nex`` between 10% and
+        40% of ``nev``.  Without any buffer the ``nev``-th eigenvalue
+        sits exactly on the filter-interval edge (Chebyshev growth
+        factor 1) and can never converge.
+    tol:
+        Relative residual threshold [1e-10]; a pair converges when
+        ``||H v - lambda v|| < tol * max(|mu_1|, b_sup)``.
+    deg:
+        Initial Chebyshev degree [20] (used for every vector in the
+        first iteration and throughout when ``opt=False``).
+    max_deg:
+        Maximal allowed degree during optimization [36] — bounds how
+        ill-conditioned the filtered block may become (Sec. 4.2).
+    opt:
+        Enable per-vector degree optimization [True].
+    max_iter:
+        Subspace-iteration cap [25].
+    lanczos_steps / lanczos_runs:
+        Length and count of the Lanczos sweeps for spectral bounds.
+    deg_extra:
+        Safety margin added to optimized degrees [2].
+    on_iteration:
+        Optional callback ``f(info: dict)`` invoked after each
+        iteration with instrumentation (iteration index, locked count,
+        residuals, condition estimate, QR report, MatVecs) — used by
+        the Fig. 1 / Table 2 benches.
+    compute_true_cond:
+        When True, additionally compute the exact condition number of
+        the filtered (active) block by SVD (expensive; Fig. 1 only).
+    """
+
+    nev: int
+    nex: int
+    tol: float = 1e-10
+    deg: int = 20
+    max_deg: int = 36
+    opt: bool = True
+    max_iter: int = 25
+    lanczos_steps: int = 25
+    lanczos_runs: int = 4
+    deg_extra: int = 2
+    on_iteration: Callable[[dict], None] | None = None
+    compute_true_cond: bool = False
+
+    @property
+    def ne(self) -> int:
+        return self.nev + self.nex
+
+    def __post_init__(self) -> None:
+        if self.nev < 1 or self.nex < 1:
+            raise ValueError(
+                "need nev >= 1 and nex >= 1 (a zero search buffer places "
+                "the nev-th eigenvalue on the filter edge, which cannot "
+                "converge)"
+            )
+        if self.deg < 2 or self.deg % 2:
+            raise ValueError("initial degree must be even and >= 2")
+        if self.max_deg < self.deg:
+            raise ValueError("max_deg must be >= deg")
+        if not 0 < self.tol < 1:
+            raise ValueError("tol must be in (0, 1)")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be >= 1")

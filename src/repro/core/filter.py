@@ -1,0 +1,106 @@
+"""The distributed Chebyshev filter (Algorithm 2, line 10).
+
+Implements the numerically scaled three-term recurrence (Zhou & Saad):
+
+    sigma_1 = e / (mu_1 - c)
+    X_1     = (sigma_1 / e) (H - c I) X_0
+    sigma_{t} = 1 / (2/sigma_1 - sigma_{t-1})
+    X_t     = 2 (sigma_t / e) (H - c I) X_{t-1} - sigma_{t-1} sigma_t X_{t-2}
+
+with per-column degrees.  The custom distributed HEMM alternates the
+vectors between the C and B layouts; ChASE enforces **even** degrees so
+every column finishes in the C layout.  Columns are pre-sorted ascending
+by degree, so finished columns retire as a prefix of the active block
+and the working set shrinks monotonically (minimizing MatVecs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.hemm import DistributedHemm
+from repro.distributed.multivector import DistributedMultiVector
+
+__all__ = ["chebyshev_filter", "mv_axpby"]
+
+
+def mv_axpby(
+    alpha: float,
+    X: DistributedMultiVector,
+    beta: float,
+    Y: DistributedMultiVector,
+) -> DistributedMultiVector:
+    """``alpha X + beta Y`` blockwise (no communication; same layout)."""
+    if X.layout != Y.layout or X.ne != Y.ne:
+        raise ValueError("mv_axpby needs same-layout, same-width multivectors")
+    grid = X.grid
+    blocks = {}
+    for i in range(grid.p):
+        for j in range(grid.q):
+            rank = grid.rank_at(i, j)
+            blocks[(i, j)] = rank.k.axpby(alpha, X.blocks[(i, j)], beta, Y.blocks[(i, j)])
+    return DistributedMultiVector(
+        grid, X.index_map, X.layout, X.ne, blocks, X.dtype
+    )
+
+
+def chebyshev_filter(
+    hemm: DistributedHemm,
+    C: DistributedMultiVector,
+    locked: int,
+    degrees: np.ndarray,
+    c: float,
+    e: float,
+    mu1: float,
+) -> int:
+    """Filter ``C[:, locked:]`` in place; returns MatVecs performed.
+
+    ``degrees`` covers the active columns (length ``ne - locked``), must
+    be even, >= 2, and sorted ascending (see
+    :func:`repro.core.degrees.sort_by_degree`).
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    n_active = C.ne - locked
+    if degrees.shape != (n_active,):
+        raise ValueError(
+            f"degrees must cover the {n_active} active columns, got {degrees.shape}"
+        )
+    if n_active == 0:
+        return 0
+    if np.any(degrees % 2) or np.any(degrees < 2):
+        raise ValueError("ChASE requires even filter degrees >= 2")
+    if np.any(np.diff(degrees) < 0):
+        raise ValueError("degrees must be sorted ascending")
+    if not mu1 < c - e:
+        raise ValueError("mu1 must lie below the damped interval")
+
+    matvecs0 = hemm.matvecs
+    max_deg = int(degrees[-1])
+    retired = 0  # columns already written back
+
+    sigma1 = e / (mu1 - c)
+    sigma = sigma1
+
+    X_prev = C.view_cols(locked, C.ne)  # X_0, layout "C"
+    X_cur = hemm.apply(X_prev, alpha=sigma1 / e, gamma=c)  # X_1, layout "B"
+
+    for t in range(2, max_deg + 1):
+        sigma_new = 1.0 / (2.0 / sigma1 - sigma)
+        W = hemm.apply(X_cur, alpha=2.0 * sigma_new / e, gamma=c)
+        X_next = mv_axpby(1.0, W, -sigma * sigma_new, X_prev)
+        sigma = sigma_new
+        X_prev, X_cur = X_cur, X_next
+
+        if t % 2 == 0:
+            # X_cur is in the C layout: retire columns whose degree == t
+            done = int(np.searchsorted(degrees[retired:], t, side="right"))
+            if done:
+                X_cur.view_cols(0, done).write_into(C, locked + retired)
+                retired += done
+                width = X_cur.ne
+                X_cur = X_cur.view_cols(done, width)
+                X_prev = X_prev.view_cols(done, width)
+                if retired == n_active:
+                    break
+    assert retired == n_active, "filter finished with unretired columns"
+    return hemm.matvecs - matvecs0

@@ -1,0 +1,131 @@
+"""Distributed Lanczos + DoS estimation of the spectral bounds
+(Algorithm 1 / 2, line 1-2).
+
+ChASE needs three scalars before filtering:
+
+* ``b_sup``  — an *upper bound* on ``lambda_max(H)`` (the filter damps
+  ``[mu_ne, b_sup]``; if ``b_sup < lambda_max`` the filter amplifies the
+  top of the spectrum and diverges, so the bound must be safe);
+* ``mu_1``   — an estimate of ``lambda_min`` (used for the scaling
+  factors of the stable three-term recurrence);
+* ``mu_ne``  — an estimate of the ``ne``-th smallest eigenvalue (the
+  lower edge of the damped interval).
+
+A handful of short Lanczos runs provides all three: Ritz values with
+their residual bounds bracket the spectrum, and the Gaussian-quadrature
+weights (squared first eigenvector components) give a stochastic
+cumulative Density of States whose ``ne``-quantile estimates ``mu_ne``.
+
+The recurrence runs through the same distributed HEMM as the filter,
+with one extra B->C redistribution per step (the recurrence needs
+``H v`` back in the layout of ``v``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.core.filter import mv_axpby
+from repro.distributed.hemm import DistributedHemm
+from repro.distributed.multivector import DistributedMultiVector
+from repro.distributed.redistribute import redistribute_b_to_c
+
+__all__ = ["SpectralBounds", "lanczos_bounds"]
+
+
+@dataclass(frozen=True)
+class SpectralBounds:
+    """Spectral estimates returned by the Lanczos pre-processing."""
+
+    b_sup: float
+    mu1: float
+    mu_ne: float
+
+
+def _allreduce_col_dots(grid, X, Y) -> np.ndarray:
+    """Global per-column ``X^H Y`` for C-layout multivectors."""
+    partials = {}
+    for i in range(grid.p):
+        for j in range(grid.q):
+            rank = grid.rank_at(i, j)
+            partials[(i, j)] = rank.k.dot_columns(X.blocks[(i, j)], Y.blocks[(i, j)])
+    for j in range(grid.q):
+        grid.col_comm(j).allreduce([partials[(i, j)] for i in range(grid.p)])
+    return partials[(0, 0)]
+
+
+def _scale_all(grid, X, factor: float) -> None:
+    for i in range(grid.p):
+        for j in range(grid.q):
+            grid.rank_at(i, j).k.scale(X.blocks[(i, j)], factor)
+
+
+def lanczos_bounds(
+    hemm: DistributedHemm,
+    ne: int,
+    *,
+    steps: int = 25,
+    runs: int = 4,
+    rng: np.random.Generator | None = None,
+) -> SpectralBounds:
+    """Estimate ``(b_sup, mu_1, mu_ne)`` with ``runs`` Lanczos sweeps."""
+    if ne < 1:
+        raise ValueError("ne must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    grid = hemm.grid
+    H = hemm.H
+    N = H.N
+    steps = max(2, min(steps, N - 1))
+    dtype = np.dtype(H.dtype)
+
+    thetas: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    b_sup = -np.inf
+    mu1 = np.inf
+
+    for _run in range(runs):
+        v = rng.standard_normal(N)
+        if dtype.kind == "c":
+            v = v + 1j * rng.standard_normal(N)
+        v = (v / np.linalg.norm(v)).astype(dtype)
+        V = DistributedMultiVector.from_global(grid, v[:, None], H.rowmap, "C")
+        V_prev: DistributedMultiVector | None = None
+        beta = 0.0
+        alphas: list[float] = []
+        betas: list[float] = []
+
+        for _k in range(steps):
+            Bmv = hemm.apply(V, slice(0, 1))
+            W = DistributedMultiVector.zeros(grid, H.rowmap, "C", 1, dtype, False)
+            redistribute_b_to_c(grid, Bmv, W)
+            alpha = float(_allreduce_col_dots(grid, V, W)[0].real)
+            W = mv_axpby(1.0, W, -alpha, V)
+            if V_prev is not None:
+                W = mv_axpby(1.0, W, -beta, V_prev)
+            beta = float(np.sqrt(_allreduce_col_dots(grid, W, W)[0].real))
+            alphas.append(alpha)
+            betas.append(beta)
+            if beta < 1e-12 * max(abs(alpha), 1.0):
+                break
+            _scale_all(grid, W, 1.0 / beta)
+            V_prev, V = V, W
+
+        k = len(alphas)
+        theta, U = scipy.linalg.eigh_tridiagonal(
+            np.array(alphas), np.array(betas[: k - 1])
+        )
+        resid = betas[k - 1] * np.abs(U[-1, :])
+        b_sup = max(b_sup, float(np.max(theta + resid)))
+        mu1 = min(mu1, float(np.min(theta - resid)))
+        thetas.append(theta)
+        weights.append(np.abs(U[0, :]) ** 2)
+
+    # stochastic cumulative DoS -> ne-quantile (see repro.core.dos)
+    from repro.core.dos import SpectralDensity
+
+    dos = SpectralDensity.from_samples(thetas, weights, N, mu1, b_sup)
+    mu_ne = dos.quantile(min(ne, N))
+    return SpectralBounds(b_sup=b_sup, mu1=mu1, mu_ne=mu_ne)

@@ -1,0 +1,127 @@
+"""Analytic convergence planning (capacity estimation).
+
+Given an (approximate) spectrum — from :mod:`repro.core.dos`, a cheaper
+related solve, or domain knowledge — this module predicts ChASE's
+iteration structure *before running it*: per-iteration filter degrees,
+locking progression, iteration count and MatVecs.  The prediction uses
+the same Chebyshev damping theory the solver's own degree optimizer is
+built on: one filter pass of degree ``m`` shrinks the residual of the
+Ritz pair at ``lambda_k`` by ``~rho_k^-m`` with ``rho_k`` the Chebyshev
+growth factor of ``lambda_k`` w.r.t. the current damped interval.
+
+The output is a :class:`ConvergenceTrace` — directly replayable through
+:meth:`ChaseSolver.solve_phantom` — so the complete capacity-planning
+workflow is::
+
+    dos   = estimate_spectral_density(H_small)      # or known physics
+    lam   = [dos.quantile(k) for k in 1..ne]
+    trace = plan_convergence(lam, dos.upper, cfg)
+    t     = solver.solve_phantom(trace).makespan     # at any node count
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ChaseConfig
+from repro.core.condest import estimate_condition
+from repro.core.degrees import optimize_degrees
+from repro.core.qr import CHOLQR1_THRESHOLD, SHIFTED_THRESHOLD
+from repro.core.spectra import growth_factor, map_to_reference
+from repro.core.trace import ConvergenceTrace, IterationRecord
+
+__all__ = ["plan_convergence"]
+
+
+def plan_convergence(
+    eigenvalues: np.ndarray,
+    b_sup: float,
+    config: ChaseConfig,
+    initial_residual: float = 1.0,
+) -> ConvergenceTrace:
+    """Predict a solve's iteration structure from a spectrum estimate.
+
+    Parameters
+    ----------
+    eigenvalues:
+        Approximations of the lowest ``ne = nev + nex`` eigenvalues,
+        ascending (extra entries are ignored; fewer is an error).
+    b_sup:
+        Upper spectral bound.
+    initial_residual:
+        Relative residual of the starting vectors (1.0 for random
+        starts; smaller for warm starts, e.g. from a previous SCF
+        iteration — this is how the planner quantifies the warm-start
+        benefit before running anything).
+    """
+    cfg = config
+    ne, nev = cfg.ne, cfg.nev
+    lam = np.asarray(eigenvalues, dtype=np.float64)[:ne]
+    if lam.shape[0] < ne:
+        raise ValueError(f"need ne={ne} eigenvalue estimates, got {lam.shape[0]}")
+    if np.any(np.diff(lam) < 0):
+        raise ValueError("eigenvalue estimates must be ascending")
+    if not b_sup > lam[-1]:
+        raise ValueError("b_sup must exceed the largest estimate")
+    if not 0 < initial_residual <= 1.0:
+        raise ValueError("initial_residual must be in (0, 1]")
+
+    tol_abs = cfg.tol * max(abs(lam[0]), abs(b_sup))
+    res = np.full(ne, float(initial_residual))
+    locked = 0
+    trace = ConvergenceTrace()
+
+    for it in range(1, cfg.max_iter + 1):
+        if locked >= nev:
+            break
+        mu_ne = lam[-1]
+        c = (b_sup + mu_ne) / 2.0
+        e = (b_sup - mu_ne) / 2.0
+        active = slice(locked, ne)
+        if cfg.opt and it > 1:
+            degs = optimize_degrees(
+                res[active], lam[active], c, e, tol_abs,
+                max_deg=cfg.max_deg, extra=cfg.deg_extra,
+            )
+        else:
+            degs = np.full(ne - locked, cfg.deg, dtype=np.int64)
+        degs = np.sort(degs)
+
+        cond = estimate_condition(lam, c, e,
+                                  np.concatenate([np.zeros(locked, np.int64),
+                                                  degs]), locked)
+        if cond > SHIFTED_THRESHOLD:
+            variant = "sCholeskyQR2"
+        elif cond < CHOLQR1_THRESHOLD:
+            variant = "CholeskyQR1"
+        else:
+            variant = "CholeskyQR2"
+
+        # damping model: res_k <- res_k / rho_k^m (floored at roundoff)
+        rho = np.atleast_1d(
+            growth_factor(map_to_reference(lam[active], c, e))
+        )
+        res[active] = np.maximum(
+            res[active] * rho ** (-degs.astype(np.float64)), 1e-16
+        )
+        conv = int(np.sum(res[active] < tol_abs))
+        trace.append(
+            IterationRecord(
+                degrees=degs,
+                locked_before=locked,
+                new_converged=conv,
+                qr_variant=variant,
+                cond_est=float(cond),
+                matvecs=int(degs.sum()),
+            )
+        )
+        # lock the converged prefix-equivalent (the planner, like the
+        # solver, locks whatever converged this iteration)
+        order = np.argsort(res[active])
+        keep = np.sort(res[active])
+        res[active] = keep
+        lam_active = lam[active][order]
+        lam[active] = np.sort(lam_active)  # keep estimates ascending
+        locked += conv
+
+    return trace

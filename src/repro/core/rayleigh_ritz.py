@@ -1,0 +1,90 @@
+"""Distributed Rayleigh-Ritz projection (Algorithm 2, lines 14-20).
+
+The quotient ``A = C^H H C`` is assembled without ever forming a global
+matrix:
+
+1. ``B2 <- Bcast(C2, ccomm)`` — redistribute the orthonormal block into
+   the row-communicator layout (1 broadcast per column communicator on
+   a square grid);
+2. ``B <- H C`` — the distributed HEMM;
+3. ``A <- B2^H B`` locally + SUM-allreduce within each row communicator;
+4. ``HEEVD(A)`` — redundant small dense eigensolve on every rank;
+5. back-transform ``C[:, l:] <- C2[:, l:] A`` — rank-local GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import is_phantom
+from repro.distributed.hemm import DistributedHemm
+from repro.distributed.multivector import DistributedMultiVector
+from repro.distributed.redistribute import redistribute_c_to_b
+
+__all__ = ["rayleigh_ritz"]
+
+
+def rayleigh_ritz(
+    hemm: DistributedHemm,
+    C: DistributedMultiVector,
+    C2: DistributedMultiVector,
+    B: DistributedMultiVector,
+    B2: DistributedMultiVector,
+    locked: int,
+) -> np.ndarray | None:
+    """Project, solve, back-transform.  Returns the active Ritz values
+    ascending (length ``ne - locked``), or ``None`` in phantom mode.
+
+    On entry ``C`` holds the orthonormalized block with its locked
+    columns already restored and ``C2 == C``.  On exit the active
+    columns of both ``C`` and ``C2`` hold the new Ritz vectors and
+    ``B``/``B2`` hold ``H C`` / ``C`` in the row layout.
+    """
+    grid = hemm.grid
+    ne = C.ne
+    active = slice(locked, ne)
+
+    # (1) redistribute C2 -> B2 (Algorithm 2 line 14)
+    redistribute_c_to_b(grid, C2, B2, cols=active)
+
+    # (2) B[:, l:] = H C[:, l:] (line 15)
+    HC = hemm.apply(C, active)
+    HC.write_into(B, locked)
+
+    # (3) A = B2[:, l:]^H B[:, l:] + allreduce over row communicators (16-17)
+    A_loc = {}
+    for i in range(grid.p):
+        for j in range(grid.q):
+            rank = grid.rank_at(i, j)
+            b2 = B2.blocks[(i, j)]
+            b = B.blocks[(i, j)]
+            b2a = b2.cols(locked, ne) if is_phantom(b2) else b2[:, active]
+            ba = b.cols(locked, ne) if is_phantom(b) else b[:, active]
+            A_loc[(i, j)] = rank.k.gemm(b2a, ba, op_a="C")
+    for i in range(grid.p):
+        grid.row_comm(i).allreduce([A_loc[(i, j)] for j in range(grid.q)])
+
+    # (4) redundant HEEVD on every rank (line 18)
+    ritzv = None
+    Y = None
+    for i in range(grid.p):
+        for j in range(grid.q):
+            rank = grid.rank_at(i, j)
+            w, V = rank.k.eigh(A_loc[(i, j)])
+            if ritzv is None:
+                ritzv, Y = w, V
+
+    # (5) back-transform C[:, l:] = C2[:, l:] Y, then C2 <- C (lines 19-20)
+    for i in range(grid.p):
+        for j in range(grid.q):
+            rank = grid.rank_at(i, j)
+            c2 = C2.blocks[(i, j)]
+            c2a = c2.cols(locked, ne) if is_phantom(c2) else c2[:, active]
+            new = rank.k.gemm(c2a, Y)
+            if not is_phantom(c2):
+                C.blocks[(i, j)][:, active] = new
+                C2.blocks[(i, j)][:, active] = new
+
+    if ritzv is None or is_phantom(ritzv):
+        return None
+    return np.asarray(ritzv, dtype=np.float64)

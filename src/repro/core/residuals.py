@@ -1,0 +1,70 @@
+"""Distributed residual computation (Algorithm 2, lines 20-25).
+
+``||H c_k - lambda_k c_k||`` is evaluated entirely in the B layout as
+``||B - B2 diag(ritzv)||`` column-wise: the fresh Ritz vectors are
+re-broadcast into ``B2``, ``B <- H C`` is recomputed with the HEMM, the
+batched subtraction and squared column norms run on the device (NCCL
+build) or on the host after staging (STD/LMS builds, paper Sec. 3.3),
+and one small allreduce per row communicator produces the global norms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import is_phantom, nbytes_of
+from repro.distributed.hemm import DistributedHemm
+from repro.distributed.multivector import DistributedMultiVector
+from repro.distributed.redistribute import redistribute_c_to_b
+from repro.runtime.backend import CommBackend
+
+__all__ = ["residuals"]
+
+
+def residuals(
+    hemm: DistributedHemm,
+    C: DistributedMultiVector,
+    C2: DistributedMultiVector,
+    B: DistributedMultiVector,
+    B2: DistributedMultiVector,
+    ritzv: np.ndarray | None,
+    locked: int,
+) -> np.ndarray | None:
+    """Residual norms of the active Ritz pairs (length ``ne - locked``).
+
+    Returns ``None`` in phantom mode (costs are still charged).
+    """
+    grid = hemm.grid
+    ne = C.ne
+    active = slice(locked, ne)
+    phantom = C.is_phantom
+
+    # re-broadcast the back-transformed vectors (line 20) and recompute HC (21)
+    redistribute_c_to_b(grid, C2, B2, cols=active)
+    HC = hemm.apply(C, active)
+    HC.write_into(B, locked)
+
+    nrm_loc = {}
+    for i in range(grid.p):
+        for j in range(grid.q):
+            rank = grid.rank_at(i, j)
+            on_gpu = rank.backend is CommBackend.NCCL
+            k = rank.gpu if on_gpu else rank.cpu
+            b = B.blocks[(i, j)]
+            b2 = B2.blocks[(i, j)]
+            ba = b.cols(locked, ne) if is_phantom(b) else b[:, active]
+            b2a = b2.cols(locked, ne) if is_phantom(b2) else b2[:, active]
+            if rank.backend is CommBackend.MPI_STAGED:
+                # the BLAS-1 residual kernels stay on the CPU in the STD
+                # build: the operands must cross PCIe first
+                rank.stage_d2h(nbytes_of(ba) + nbytes_of(b2a))
+            lam = ritzv[active] if ritzv is not None else b2a  # phantom dummy
+            diff = k.sub_scaled_columns(ba, b2a, lam)
+            nrm_loc[(i, j)] = k.colnorms_sq(diff)
+    for i in range(grid.p):
+        grid.row_comm(i).allreduce([nrm_loc[(i, j)] for j in range(grid.q)])
+
+    first = nrm_loc[(0, 0)]
+    if phantom or is_phantom(first):
+        return None
+    return np.sqrt(np.maximum(np.asarray(first, dtype=np.float64), 0.0))

@@ -1,0 +1,110 @@
+"""Solving *sequences* of correlated eigenproblems.
+
+ChASE's founding use case (paper Sec. 1): in self-consistent-field
+loops "the rational for this choice was the ability of an iterative
+algorithm to be inputted approximate solutions which are available in
+DFT computations".  :class:`EigenSequenceSolver` packages that pattern:
+it carries the converged basis from one problem of a sequence into the
+next as the starting subspace, topping it up with fresh random extra
+vectors, and records per-step statistics so the warm-start benefit is
+measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import ChaseConfig
+from repro.core.serial import SerialResult, chase_serial
+
+__all__ = ["SequenceStep", "EigenSequenceSolver"]
+
+
+@dataclass(frozen=True)
+class SequenceStep:
+    """Statistics of one problem in the sequence."""
+
+    index: int
+    warm_started: bool
+    iterations: int
+    matvecs: int
+    converged: bool
+    eigenvalues: np.ndarray
+
+
+@dataclass
+class EigenSequenceSolver:
+    """Warm-started serial ChASE over a sequence of Hermitian matrices.
+
+    Parameters
+    ----------
+    config:
+        Solver parameters, shared by every step.
+    rng:
+        Randomness source for initial vectors / fresh extras.
+    refresh_extras:
+        When True (default), the ``nex`` extra columns are re-randomized
+        at every step (the converged ``nev`` vectors are what carries
+        the correlation); when False the full previous subspace is
+        reused.
+    """
+
+    config: ChaseConfig
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    refresh_extras: bool = True
+
+    def __post_init__(self) -> None:
+        self._basis: np.ndarray | None = None
+        self.steps: list[SequenceStep] = []
+
+    @property
+    def total_matvecs(self) -> int:
+        return sum(s.matvecs for s in self.steps)
+
+    def _starting_basis(self, N: int, dtype) -> np.ndarray | None:
+        if self._basis is None:
+            return None
+        cfg = self.config
+        if not self.refresh_extras and self._basis.shape[1] == cfg.ne:
+            return self._basis
+        extras = self.rng.standard_normal((N, cfg.nex))
+        if np.dtype(dtype).kind == "c":
+            extras = extras + 1j * self.rng.standard_normal((N, cfg.nex))
+        extras = np.linalg.qr(extras.astype(dtype))[0]
+        return np.concatenate([self._basis[:, : cfg.nev], extras], axis=1)
+
+    def solve_next(self, H: np.ndarray) -> SerialResult:
+        """Solve the next problem of the sequence, warm-starting from the
+        previous solution when one exists."""
+        H = np.asarray(H)
+        N = H.shape[0]
+        if self._basis is not None and self._basis.shape[0] != N:
+            raise ValueError(
+                f"sequence dimension changed: {self._basis.shape[0]} -> {N}"
+            )
+        V0 = self._starting_basis(N, H.dtype)
+        res = chase_serial(H, self.config, V0=V0, rng=self.rng)
+        self.steps.append(
+            SequenceStep(
+                index=len(self.steps),
+                warm_started=V0 is not None,
+                iterations=res.iterations,
+                matvecs=res.matvecs,
+                converged=res.converged,
+                eigenvalues=res.eigenvalues.copy(),
+            )
+        )
+        if res.converged:
+            # carry the full converged subspace (nev vectors) forward
+            self._basis = np.concatenate(
+                [res.eigenvectors,
+                 np.zeros((N, self.config.nex), dtype=res.eigenvectors.dtype)],
+                axis=1,
+            )
+        return res
+
+    def reset(self) -> None:
+        """Forget the carried basis (the next solve starts cold)."""
+        self._basis = None

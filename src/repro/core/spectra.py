@@ -1,0 +1,101 @@
+"""Chebyshev amplification arithmetic shared by the filter, the degree
+optimization and the condition-number estimate.
+
+The degree-``m`` Chebyshev polynomial of the first kind grows outside
+the reference interval ``[-1, 1]`` like
+
+    |T_m(t)| ~ |rho(t)|^m / 2,   |rho(t)| = |t| + sqrt(t^2 - 1) > 1,
+
+while staying bounded by 1 inside.  Mapping the unwanted spectrum
+``[mu_ne, b_sup]`` onto ``[-1, 1]`` via ``t = (lambda - c)/e`` with
+``c = (b_sup + mu_ne)/2`` and ``e = (b_sup - mu_ne)/2`` therefore damps
+unwanted components and amplifies wanted ones by ``|rho|^m``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "interval_params",
+    "map_to_reference",
+    "growth_factor",
+    "cheb_t",
+    "required_degree",
+]
+
+
+def interval_params(b_sup: float, mu_ne: float) -> tuple[float, float]:
+    """Filter interval center/half-width: ``c = (b+a)/2``, ``e = (b-a)/2``
+    for the damped interval ``[a, b] = [mu_ne, b_sup]``."""
+    if not b_sup > mu_ne:
+        raise ValueError(f"need b_sup > mu_ne, got {b_sup} <= {mu_ne}")
+    return (b_sup + mu_ne) / 2.0, (b_sup - mu_ne) / 2.0
+
+
+def map_to_reference(lam, c: float, e: float):
+    """``t = (lambda - c) / e`` — affine map onto the reference interval."""
+    if e <= 0:
+        raise ValueError("half-width e must be positive")
+    return (np.asarray(lam, dtype=np.float64) - c) / e
+
+
+def growth_factor(t) -> np.ndarray:
+    """``|rho(t)| = max(|t - sqrt(t^2-1)|, |t + sqrt(t^2-1)|)``.
+
+    Equals 1 inside ``[-1, 1]`` (where the square root is imaginary and
+    both branches lie on the unit circle) and ``|t| + sqrt(t^2-1) > 1``
+    outside.  Vectorized; scalar in, scalar out.
+    """
+    t = np.asarray(t, dtype=np.float64)
+    a = np.abs(t)
+    out = np.where(a <= 1.0, 1.0, a + np.sqrt(np.maximum(a * a - 1.0, 0.0)))
+    return out if out.ndim else float(out)
+
+def cheb_t(m: int, t) -> np.ndarray:
+    """``T_m(t)`` evaluated stably for any real ``t``.
+
+    Uses ``cos(m arccos t)`` inside the reference interval and
+    ``cosh(m arccosh |t|)`` (with sign) outside.
+    """
+    if m < 0:
+        raise ValueError("degree must be non-negative")
+    t = np.asarray(t, dtype=np.float64)
+    out = np.empty_like(t)
+    inside = np.abs(t) <= 1.0
+    out[inside] = np.cos(m * np.arccos(t[inside]))
+    tout = t[~inside]
+    sign = np.where((tout < -1.0) & (m % 2 == 1), -1.0, 1.0)
+    # clamp the exponent to avoid overflow; amplification beyond 1e300
+    # is indistinguishable for our purposes
+    x = m * np.arccosh(np.abs(tout))
+    out[~inside] = sign * np.cosh(np.minimum(x, 690.0))
+    return out if out.ndim else float(out)
+
+
+def required_degree(
+    res: float, tol: float, rho: float, *, min_deg: int = 2, max_deg: int = 36
+) -> int:
+    """Smallest even degree driving a residual ``res`` below ``tol``.
+
+    One filter pass multiplies the relative size of the unwanted
+    components of a Ritz vector by ``~1/rho^m`` (``rho`` is the wanted
+    eigenvalue's growth factor), so ``m >= log(res/tol) / log(rho)``.
+    The result is clamped to ``[min_deg, max_deg]`` and rounded up to an
+    even value — ChASE enforces even degrees so filtered vectors always
+    land back in the C layout (paper Sec. 3.1).
+    """
+    if tol <= 0 or res < 0:
+        raise ValueError("need tol > 0 and res >= 0")
+    if rho <= 1.0 + 1e-15:
+        m = max_deg
+    elif res <= tol:
+        m = min_deg
+    else:
+        m = math.ceil(math.log(res / tol) / math.log(rho))
+    m = max(min_deg, min(m, max_deg))
+    if m % 2:
+        m = min(m + 1, max_deg if max_deg % 2 == 0 else max_deg - 1)
+    return m

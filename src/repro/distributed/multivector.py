@@ -1,0 +1,165 @@
+"""Distributed rectangular matrices of vectors (the C/C2 and B/B2 buffers).
+
+Two layouts (paper Sec. 3.1):
+
+* ``"C"`` — rows split by the grid's **row map** over grid row index
+  ``i`` and *replicated* across grid columns ``j``: the ranks of one
+  column communicator jointly hold the full ``N x ne`` matrix;
+* ``"B"`` — rows split by the grid's **column map** over ``j`` and
+  replicated across grid rows ``i``: one row communicator jointly holds
+  the full matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import PhantomArray, is_phantom
+from repro.distributed.hermitian import global_indices
+from repro.runtime.grid import Grid2D
+
+__all__ = ["DistributedMultiVector"]
+
+
+class DistributedMultiVector:
+    """An ``N x ne`` matrix of vectors in layout ``"C"`` or ``"B"``."""
+
+    def __init__(self, grid: Grid2D, index_map, layout: str, ne: int, blocks, dtype):
+        if layout not in ("C", "B"):
+            raise ValueError(f"layout must be 'C' or 'B', got {layout!r}")
+        self.grid = grid
+        self.index_map = index_map
+        self.layout = layout
+        self.ne = int(ne)
+        self.blocks = blocks  # dict[(i, j)] -> ndarray | PhantomArray
+        self.dtype = np.dtype(dtype)
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def zeros(
+        cls, grid: Grid2D, index_map, layout: str, ne: int, dtype, phantom: bool
+    ) -> "DistributedMultiVector":
+        blocks = {}
+        for i in range(grid.p):
+            for j in range(grid.q):
+                part = i if layout == "C" else j
+                n_local = index_map.local_size(part)
+                if phantom:
+                    blocks[(i, j)] = PhantomArray((n_local, ne), dtype)
+                else:
+                    blocks[(i, j)] = np.zeros((n_local, ne), dtype=dtype)
+        return cls(grid, index_map, layout, ne, blocks, dtype)
+
+    @classmethod
+    def from_global(
+        cls, grid: Grid2D, V: np.ndarray, index_map, layout: str
+    ) -> "DistributedMultiVector":
+        """Distribute a global ``N x ne`` matrix (numeric mode)."""
+        V = np.asarray(V)
+        ne = V.shape[1]
+        blocks = {}
+        for i in range(grid.p):
+            for j in range(grid.q):
+                part = i if layout == "C" else j
+                rows = global_indices(index_map, part)
+                blocks[(i, j)] = np.ascontiguousarray(V[rows, :])
+        return cls(grid, index_map, layout, ne, blocks, V.dtype)
+
+    # -- access --------------------------------------------------------------------
+    def local(self, i: int, j: int):
+        return self.blocks[(i, j)]
+
+    def part_of(self, i: int, j: int) -> int:
+        """The index-map part a rank's block corresponds to."""
+        return i if self.layout == "C" else j
+
+    @property
+    def is_phantom(self) -> bool:
+        return is_phantom(next(iter(self.blocks.values())))
+
+    # -- whole-matrix views (validation / serial handoff) -----------------------------
+    def gather(self, fixed: int = 0) -> np.ndarray:
+        """Reassemble the global matrix from one replica group.
+
+        For layout ``"C"`` use column ``fixed``; for ``"B"`` use row
+        ``fixed``.  Numeric mode only.
+        """
+        if self.is_phantom:
+            raise TypeError("cannot gather phantom buffers")
+        N = self.index_map.N
+        out = np.zeros((N, self.ne), dtype=self.dtype)
+        parts = self.grid.p if self.layout == "C" else self.grid.q
+        for part in range(parts):
+            key = (part, fixed) if self.layout == "C" else (fixed, part)
+            rows = global_indices(self.index_map, part)
+            out[rows, :] = self.blocks[key]
+        return out
+
+    def replication_error(self) -> float:
+        """Max abs difference between replicas (should be ~0; test helper)."""
+        if self.is_phantom:
+            return 0.0
+        err = 0.0
+        for i in range(self.grid.p):
+            for j in range(self.grid.q):
+                ref_key = (i, 0) if self.layout == "C" else (0, j)
+                err = max(
+                    err,
+                    float(
+                        np.abs(self.blocks[(i, j)] - self.blocks[ref_key]).max()
+                        if self.blocks[(i, j)].size
+                        else 0.0
+                    ),
+                )
+        return err
+
+    # -- column views ------------------------------------------------------------------
+    def view_cols(self, start: int, stop: int) -> "DistributedMultiVector":
+        """A column-sliced view (``[:, start:stop]``).
+
+        Real blocks are NumPy *views* — writes through the view update
+        this multivector; phantom blocks are sliced metadata.
+        """
+        if not 0 <= start <= stop <= self.ne:
+            raise ValueError(f"bad column range [{start}, {stop}) for ne={self.ne}")
+        blocks = {}
+        for key, blk in self.blocks.items():
+            blocks[key] = blk.cols(start, stop) if is_phantom(blk) else blk[:, start:stop]
+        return DistributedMultiVector(
+            self.grid, self.index_map, self.layout, stop - start, blocks, self.dtype
+        )
+
+    def write_into(self, target: "DistributedMultiVector", start: int) -> None:
+        """``target[:, start:start+self.ne] = self`` blockwise (no comm)."""
+        if self.layout != target.layout:
+            raise ValueError("layout mismatch")
+        if start + self.ne > target.ne:
+            raise ValueError("target column range overflow")
+        if self.is_phantom:
+            return
+        for key in self.blocks:
+            target.blocks[key][:, start : start + self.ne] = self.blocks[key]
+
+    # -- column bookkeeping (locking) ------------------------------------------------
+    def permute_columns(self, perm: np.ndarray) -> None:
+        """Apply one global column permutation to every local block.
+
+        Column operations are rank-local in both layouts (rows are what
+        is distributed), so locking's swaps need no communication.
+        """
+        if self.is_phantom:
+            return
+        perm = np.asarray(perm)
+        if perm.shape != (self.ne,):
+            raise ValueError("permutation length must equal ne")
+        for key, blk in self.blocks.items():
+            self.blocks[key] = np.ascontiguousarray(blk[:, perm])
+
+    def copy_cols_from(self, other: "DistributedMultiVector", start: int, stop: int) -> None:
+        """``self[:, start:stop] = other[:, start:stop]`` blockwise."""
+        if self.layout != other.layout or self.ne != other.ne:
+            raise ValueError("incompatible multivectors")
+        if self.is_phantom:
+            return
+        for key in self.blocks:
+            self.blocks[key][:, start:stop] = other.blocks[key][:, start:stop]

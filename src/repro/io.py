@@ -1,0 +1,115 @@
+"""Persistence for solver artifacts.
+
+Two workflows need durable artifacts:
+
+* **record -> replay**: a numeric run's :class:`ConvergenceTrace` is
+  recorded once (possibly on another machine) and replayed in phantom
+  mode for paper-scale performance studies (``save_trace`` /
+  ``load_trace``, JSON);
+* **solve -> analyze**: eigenpairs and convergence metadata of a solve
+  are archived for post-processing (``save_result`` / ``load_result``,
+  NumPy ``.npz``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.chase import ChaseResult
+from repro.core.trace import ConvergenceTrace, IterationRecord
+
+__all__ = ["save_trace", "load_trace", "save_result", "load_result"]
+
+_TRACE_VERSION = 1
+
+
+def save_trace(trace: ConvergenceTrace, path) -> None:
+    """Serialize a convergence trace to JSON."""
+    payload = {
+        "format": "repro.convergence_trace",
+        "version": _TRACE_VERSION,
+        "records": [
+            {
+                "degrees": np.asarray(rec.degrees, dtype=np.int64).tolist(),
+                "locked_before": int(rec.locked_before),
+                "new_converged": int(rec.new_converged),
+                "qr_variant": rec.qr_variant,
+                "cond_est": float(rec.cond_est),
+                "matvecs": int(rec.matvecs),
+            }
+            for rec in trace.records
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_trace(path) -> ConvergenceTrace:
+    """Load a convergence trace saved by :func:`save_trace`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro.convergence_trace":
+        raise ValueError(f"{path} is not a convergence-trace file")
+    if payload.get("version") != _TRACE_VERSION:
+        raise ValueError(
+            f"unsupported trace version {payload.get('version')!r}"
+        )
+    trace = ConvergenceTrace()
+    for rec in payload["records"]:
+        trace.append(
+            IterationRecord(
+                degrees=np.asarray(rec["degrees"], dtype=np.int64),
+                locked_before=rec["locked_before"],
+                new_converged=rec["new_converged"],
+                qr_variant=rec["qr_variant"],
+                cond_est=rec["cond_est"],
+                matvecs=rec["matvecs"],
+            )
+        )
+    return trace
+
+
+def save_result(result: ChaseResult, path) -> None:
+    """Archive a solve's eigenpairs and metadata as ``.npz``.
+
+    Phantom results (no eigenvalues) store the timing metadata only.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "converged": np.asarray(result.converged),
+        "locked": np.asarray(result.locked),
+        "iterations": np.asarray(result.iterations),
+        "matvecs": np.asarray(result.matvecs),
+        "makespan": np.asarray(result.makespan),
+        "qr_variants": np.asarray(result.qr_variants, dtype="U24"),
+    }
+    if result.eigenvalues is not None:
+        arrays["eigenvalues"] = result.eigenvalues
+    if result.eigenvectors is not None:
+        arrays["eigenvectors"] = result.eigenvectors
+    if result.residual_norms is not None:
+        arrays["residual_norms"] = result.residual_norms
+    for phase, b in result.timings.items():
+        arrays[f"timing_{phase}"] = np.asarray(
+            [b.compute, b.comm, b.datamove]
+        )
+    np.savez_compressed(path, **arrays)
+
+
+def load_result(path) -> dict:
+    """Load an archived result as a plain dict of arrays/scalars."""
+    with np.load(path, allow_pickle=False) as data:
+        out = {}
+        timings = {}
+        for key in data.files:
+            if key.startswith("timing_"):
+                c, m, d = data[key]
+                timings[key[len("timing_"):]] = {
+                    "compute": float(c), "comm": float(m), "datamove": float(d),
+                }
+            elif data[key].ndim == 0:
+                out[key] = data[key].item()
+            else:
+                out[key] = data[key]
+        out["timings"] = timings
+    return out

@@ -1,0 +1,34 @@
+"""Test-matrix generators (paper Sec. 4.1).
+
+* :mod:`repro.matrices.uniform` — artificial matrices with a prescribed
+  (uniform) spectrum, ``A = Q^T D Q`` (Sec. 4.1.2), used by all scaling
+  experiments;
+* :mod:`repro.matrices.application` — synthetic stand-ins for the
+  DFT (FLEUR) and BSE (UIUC) application eigenproblems of Table 1,
+  matching their size ratios and spectral character;
+* :mod:`repro.matrices.suite` — the Table 1 registry with scalable
+  problem instances.
+"""
+
+from repro.matrices.uniform import matrix_with_spectrum, uniform_matrix, uniform_spectrum
+from repro.matrices.application import dft_spectrum, bse_spectrum
+from repro.matrices.suite import Problem, TABLE1, get_problem, build_problem
+from repro.matrices.io import as_hermitian, load_hermitian, save_hermitian
+from repro.matrices.lapack_modes import latms_matrix, latms_spectrum
+
+__all__ = [
+    "matrix_with_spectrum",
+    "uniform_matrix",
+    "uniform_spectrum",
+    "dft_spectrum",
+    "bse_spectrum",
+    "Problem",
+    "TABLE1",
+    "get_problem",
+    "build_problem",
+    "as_hermitian",
+    "load_hermitian",
+    "save_hermitian",
+    "latms_matrix",
+    "latms_spectrum",
+]

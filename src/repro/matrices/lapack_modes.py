@@ -1,0 +1,92 @@
+"""LAPACK xLATMS-style eigenvalue distributions.
+
+The paper generates its artificial matrices with prescribed spectra
+"inspired by the testing infrastructure in LAPACK" (Sec. 4.1.2, citing
+Marques/Vomel/Demmel/Parlett's TOMS testing framework).  That framework
+parameterizes test spectra by a *mode* and a condition number ``cond``;
+this module implements the standard modes so the benchmark suite can
+stress the solver across the same spectrum shapes the LAPACK eigensolver
+tests use:
+
+====  ==========================================================
+mode  eigenvalue distribution (before ``scale``)
+====  ==========================================================
+1     one eigenvalue at 1, the rest at ``1/cond`` (cluster low)
+2     all at 1 except one at ``1/cond`` (cluster high)
+3     geometric: ``lambda_k = cond**(-(k-1)/(n-1))``
+4     arithmetic: ``lambda_k = 1 - (k-1)/(n-1) * (1 - 1/cond)``
+5     random in ``[1/cond, 1]`` with uniformly distributed logs
+====  ==========================================================
+
+``sign="mixed"`` flips random signs (the LAPACK convention for making
+indefinite test matrices); ``"negative"`` negates everything — handy for
+ChASE, which hunts the *lowest* eigenvalues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["latms_spectrum", "latms_matrix"]
+
+_MODES = (1, 2, 3, 4, 5)
+
+
+def latms_spectrum(
+    n: int,
+    mode: int,
+    cond: float = 1e3,
+    scale: float = 1.0,
+    sign: str = "positive",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Eigenvalues for one xLATMS mode, ascending."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode}")
+    if cond < 1:
+        raise ValueError("cond must be >= 1")
+    if sign not in ("positive", "negative", "mixed"):
+        raise ValueError(f"bad sign {sign!r}")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    if n == 1:
+        lam = np.array([1.0])
+    elif mode == 1:
+        lam = np.full(n, 1.0 / cond)
+        lam[0] = 1.0
+    elif mode == 2:
+        lam = np.ones(n)
+        lam[-1] = 1.0 / cond
+    elif mode == 3:
+        k = np.arange(n, dtype=np.float64)
+        lam = cond ** (-k / (n - 1))
+    elif mode == 4:
+        k = np.arange(n, dtype=np.float64)
+        lam = 1.0 - k / (n - 1) * (1.0 - 1.0 / cond)
+    else:  # mode 5
+        lam = np.exp(rng.uniform(np.log(1.0 / cond), 0.0, n))
+
+    if sign == "mixed":
+        lam = lam * rng.choice([-1.0, 1.0], size=n)
+    elif sign == "negative":
+        lam = -lam
+    return np.sort(lam * scale)
+
+
+def latms_matrix(
+    n: int,
+    mode: int,
+    cond: float = 1e3,
+    scale: float = 1.0,
+    sign: str = "positive",
+    dtype=np.float64,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense Hermitian xLATMS test matrix; returns ``(H, eigenvalues)``."""
+    from repro.matrices.uniform import matrix_with_spectrum
+
+    rng = rng if rng is not None else np.random.default_rng()
+    lam = latms_spectrum(n, mode, cond, scale, sign, rng)
+    return matrix_with_spectrum(lam, rng, dtype=dtype), lam

@@ -1,0 +1,115 @@
+"""Calibrate a :class:`MachineSpec` against the *local* host.
+
+The shipped machine models (JUWELS-Booster, LUMI-G) answer "what would
+this run cost on the paper's testbed".  For a complementary question —
+"what does the simulated algorithm predict for *my* machine" — this
+module micro-benchmarks the local BLAS/LAPACK through NumPy/SciPy and
+assembles a single-node :class:`MachineSpec` whose devices carry the
+measured rates.  The same solver + phantom machinery then models local
+runs; :func:`examples.local_model` (see ``examples/``) demonstrates the
+round trip (predicted vs measured wall time of a real solve).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.linalg
+
+from repro.perfmodel.machine import DeviceSpec, LinkSpec, MachineSpec
+
+__all__ = ["measure_rate", "calibrate_local_machine"]
+
+
+def measure_rate(kind: str, n: int = 512, repeats: int = 3) -> float:
+    """Measured FLOP/s of one local kernel class (real double).
+
+    ``kind`` is one of ``gemm``, ``syrk``, ``potrf``, ``geqrf``.
+    """
+    rng = np.random.default_rng(0)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    G = A @ A.T + n * np.eye(n)
+    tall = rng.standard_normal((4 * n, n // 4))
+
+    if kind == "gemm":
+        flops = 2.0 * n**3
+        def op():
+            return A @ B
+    elif kind == "syrk":
+        flops = float(n) * (n + 1) * n
+        def op():
+            return A.T @ A
+    elif kind == "potrf":
+        flops = n**3 / 3.0
+        def op():
+            return np.linalg.cholesky(G)
+    elif kind == "geqrf":
+        m, k = tall.shape
+        flops = 2.0 * m * k * k - 2.0 * k**3 / 3.0
+        def op():
+            return scipy.linalg.qr(tall, mode="economic")
+    else:
+        raise KeyError(f"unknown kernel kind {kind!r}")
+
+    op()  # warm up
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        op()
+        best = min(best, time.perf_counter() - t0)
+    return flops / best
+
+
+def measure_bandwidth(nbytes: int = 64 * 1024 * 1024, repeats: int = 3) -> float:
+    """Measured streaming bandwidth (B/s) of a copy-scale kernel."""
+    x = np.zeros(nbytes // 8)
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        y = 2.0 * x
+        best = min(best, time.perf_counter() - t0)
+        del y
+    return 2 * nbytes / best  # read + write
+
+
+def calibrate_local_machine(n: int = 512) -> MachineSpec:
+    """A single-node machine model with locally measured rates.
+
+    The 'GPU' of the model is the host BLAS itself (this is a CPU-only
+    calibration); links are fast local-memory placeholders, making the
+    model useful for predicting *compute-bound* behaviour of the
+    simulated algorithms on this machine.
+    """
+    gemm = measure_rate("gemm", n)
+    level3 = measure_rate("syrk", n)
+    factor = measure_rate("potrf", n)
+    geqrf = measure_rate("geqrf", n)
+    bw = measure_bandwidth()
+    dev = DeviceSpec(
+        name="local-blas",
+        gemm_rate=gemm,
+        level3_rate=level3,
+        factor_rate=factor,
+        geqrf_rate=geqrf,
+        blas1_bandwidth=bw,
+        launch_overhead=2e-6,
+        eff_half_flops=5e6,
+        memory_bytes=8 * 1024**3,
+    )
+    link = LinkSpec("local", latency=5e-7, bandwidth=bw)
+    return MachineSpec(
+        name="local-host",
+        gpus_per_node=1,
+        gpu=dev,
+        cpu=dev,
+        pcie=LinkSpec("copy", latency=1e-7, bandwidth=bw),
+        nvlink=link,
+        shm_mpi=link,
+        ib_mpi=link,
+        ib_nccl=link,
+        max_nodes=1,
+        mpi_call_overhead=1e-6,
+        nccl_call_overhead=1e-6,
+    )

@@ -1,0 +1,7 @@
+"""Table, series, and chart renderers for the benchmark harness."""
+
+from repro.reporting.tables import render_table
+from repro.reporting.series import render_series
+from repro.reporting.ascii_chart import render_chart, render_stacked_bars
+
+__all__ = ["render_table", "render_series", "render_chart", "render_stacked_bars"]

@@ -1,0 +1,124 @@
+"""ASCII line charts — eyeball the regenerated figures in a terminal.
+
+No plotting dependency ships with the reproduction, but the scaling
+figures are about *shape*; this renderer draws multiple series over a
+(log-log capable) character grid so a bench's output can be compared
+against the paper's plots at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["render_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        if v <= 0:
+            raise ValueError("log-scale requires positive values")
+        return math.log10(v)
+    return float(v)
+
+
+def render_chart(
+    title: str,
+    xs: list,
+    series: dict[str, list],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+) -> str:
+    """Render series as an ASCII chart (one marker character each).
+
+    ``None`` entries (e.g. out-of-memory points) are skipped.
+    """
+    if width < 16 or height < 6:
+        raise ValueError("chart too small")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    pts = []
+    for ys in series.values():
+        if len(ys) != len(xs):
+            raise ValueError("series length must match xs")
+        pts.extend((x, y) for x, y in zip(xs, ys) if y is not None)
+    if not pts:
+        return f"{title}\n(no data)"
+
+    tx = [_transform(x, log_x) for x, _ in pts]
+    ty = [_transform(y, log_y) for _, y in pts]
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for x, y in zip(xs, ys):
+            if y is None:
+                continue
+            cx = int((_transform(x, log_x) - x_lo) / x_span * (width - 1))
+            cy = int((_transform(y, log_y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - cy][cx] = marker
+
+    y_top = f"{10**y_hi if log_y else y_hi:.3g}"
+    y_bot = f"{10**y_lo if log_y else y_lo:.3g}"
+    label_w = max(len(y_top), len(y_bot))
+    lines = [title]
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}|")
+    x_left = f"{xs[0]}"
+    x_right = f"{xs[-1]}"
+    pad = width - len(x_left) - len(x_right)
+    lines.append(
+        " " * (label_w + 2) + x_left + " " * max(pad, 1) + x_right
+    )
+    legend = "   ".join(
+        f"{m}={name}" for m, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    title: str,
+    rows: list[tuple[str, dict[str, float]]],
+    width: int = 60,
+    glyphs: dict[str, str] | None = None,
+) -> str:
+    """Horizontal stacked bars (the paper's Fig. 2 presentation).
+
+    ``rows`` is a list of ``(label, {segment: value})``; every bar is
+    scaled to the global maximum total.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    if not rows:
+        return f"{title}\n(no data)"
+    seg_names: list[str] = []
+    for _label, segs in rows:
+        for k in segs:
+            if k not in seg_names:
+                seg_names.append(k)
+    if glyphs is None:
+        defaults = "#~.:+*"
+        glyphs = {k: defaults[i % len(defaults)]
+                  for i, k in enumerate(seg_names)}
+    max_total = max(sum(segs.values()) for _l, segs in rows) or 1.0
+    label_w = max(len(l) for l, _ in rows)
+    lines = [title]
+    for label, segs in rows:
+        total = sum(segs.values())
+        bar = ""
+        for k in seg_names:
+            v = segs.get(k, 0.0)
+            n = int(round(v / max_total * width))
+            bar += glyphs[k] * n
+        lines.append(f"{label.rjust(label_w)} |{bar.ljust(width)}| {total:.3g}")
+    legend = "   ".join(f"{glyphs[k]}={k}" for k in seg_names)
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Figure-series rendering: one labeled (x, y...) line per data point.
+
+Benchmarks print each figure's data as plain series so the regenerated
+curves can be compared against the paper's plots (and re-plotted with
+any tool) without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_series"]
+
+
+def render_series(
+    name: str,
+    x_label: str,
+    xs: list,
+    columns: dict[str, list],
+    y_format: str = "{:.4g}",
+) -> str:
+    """Render one figure's series.
+
+    ``columns`` maps series name -> y values (aligned with ``xs``);
+    ``None`` entries render as ``--`` (e.g. LMS's out-of-memory points).
+    """
+    lines = [f"# {name}"]
+    header = [x_label.rjust(12)] + [k.rjust(14) for k in columns]
+    lines.append(" ".join(header))
+    for i, x in enumerate(xs):
+        row = [str(x).rjust(12)]
+        for ys in columns.values():
+            y = ys[i]
+            row.append(("--" if y is None else y_format.format(y)).rjust(14))
+        lines.append(" ".join(row))
+    return "\n".join(lines)

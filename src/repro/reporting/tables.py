@@ -1,0 +1,35 @@
+"""Plain-text table rendering (paper-style rows)."""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1e5 or abs(x) < 1e-3:
+            return f"{x:.2e}"
+        return f"{x:,.2f}"
+    if isinstance(x, int):
+        return f"{x:,}"
+    return str(x)
+
+
+def render_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[_fmt(x) for x in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for r in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

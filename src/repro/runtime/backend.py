@@ -1,0 +1,40 @@
+"""Communication backends — the paper's STD vs NCCL distinction.
+
+* ``NCCL`` — buffers stay on the device; collectives run through the
+  NCCL ring model; **no host-device staging** ("all the host-device data
+  movement for all major kernels have been eliminated", paper Sec. 3.3).
+* ``MPI_STAGED`` — the "standard" (STD) build: compute on the GPU, but
+  every collective stages its payload Device->Host before the MPI call
+  and Host->Device after it, charged as DATAMOVE.
+* ``MPI_HOST`` — a CPU-only build (buffers already in host memory): MPI
+  collectives, no staging.  Used for CPU reference runs and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.perfmodel.collectives import CollectiveModel, MpiModel, NcclModel
+from repro.perfmodel.machine import MachineSpec
+
+__all__ = ["CommBackend"]
+
+
+class CommBackend(enum.Enum):
+    NCCL = "nccl"
+    MPI_STAGED = "mpi-staged"
+    MPI_HOST = "mpi-host"
+
+    @property
+    def stages_through_host(self) -> bool:
+        return self is CommBackend.MPI_STAGED
+
+    @property
+    def device_resident(self) -> bool:
+        """Whether compute buffers live on the GPU."""
+        return self in (CommBackend.NCCL, CommBackend.MPI_STAGED)
+
+    def collective_model(self, machine: MachineSpec) -> CollectiveModel:
+        if self is CommBackend.NCCL:
+            return NcclModel(machine)
+        return MpiModel(machine)

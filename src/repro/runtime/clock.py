@@ -1,0 +1,53 @@
+"""Per-rank virtual clocks and cost categories."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["CostCategory", "Clock"]
+
+
+class CostCategory(enum.Enum):
+    """The three cost classes the paper breaks kernels into (Fig. 2)."""
+
+    COMPUTE = "compute"
+    COMM = "communication"
+    DATAMOVE = "data movement"
+
+
+class Clock:
+    """A monotonically advancing virtual clock for one rank.
+
+    Local work advances the clock by the modeled kernel time; collective
+    operations first *synchronize* the clock to the barrier entry time
+    (``sync_to``; the skipped interval is idle wait, charged to no
+    category) and then advance it by the collective's modeled time.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance by ``dt`` seconds (must be non-negative); returns new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def sync_to(self, t: float) -> float:
+        """Jump forward to time ``t`` (no-op if already past it)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def reset(self, t: float = 0.0) -> None:
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Clock(now={self._now:.6f})"

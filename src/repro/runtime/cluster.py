@@ -1,0 +1,114 @@
+"""Virtual cluster: rank placement on nodes, shared tracer, backend."""
+
+from __future__ import annotations
+
+import math
+
+from repro.perfmodel.machine import MachineSpec, juwels_booster
+from repro.runtime.backend import CommBackend
+from repro.runtime.rank import RankContext
+from repro.runtime.tracer import Tracer
+
+__all__ = ["VirtualCluster"]
+
+
+class VirtualCluster:
+    """A set of simulated ranks placed consecutively on nodes.
+
+    Parameters
+    ----------
+    n_ranks:
+        Total MPI ranks.
+    machine:
+        Machine model; defaults to JUWELS-Booster.
+    backend:
+        Communication backend (NCCL / MPI_STAGED / MPI_HOST).
+    ranks_per_node:
+        Placement density.  The paper uses 4 (one rank per GPU) for
+        STD/NCCL and 1 (one rank per node, 4 GPUs each) for LMS.
+    gpus_per_rank:
+        GPUs driven by each rank (4 for the LMS configuration).
+    phantom:
+        When True the caller intends to use metadata-only buffers; the
+        flag is advisory (the kernels dispatch on the buffer type) but
+        lets data-structure builders pick the right allocation.
+    placement:
+        How ranks map to nodes.  ``"block"`` (default, what
+        ``mpiexec`` does by default) puts consecutive ranks on the same
+        node — with a row-major grid, *row* communicators then enjoy
+        intra-node links; ``"round_robin"`` (cyclic placement) strides
+        ranks across nodes — favouring *column* communicators instead.
+        Placement changes which collectives cross the network, a real
+        tuning lever on clusters (see
+        ``benchmarks/bench_ablation_placement.py``).
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: MachineSpec | None = None,
+        backend: CommBackend = CommBackend.NCCL,
+        ranks_per_node: int | None = None,
+        gpus_per_rank: int = 1,
+        phantom: bool = False,
+        placement: str = "block",
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if placement not in ("block", "round_robin"):
+            raise ValueError(f"unknown placement {placement!r}")
+        self.machine = machine if machine is not None else juwels_booster()
+        self.backend = backend
+        self.phantom = bool(phantom)
+        if ranks_per_node is None:
+            ranks_per_node = max(self.machine.gpus_per_node // gpus_per_rank, 1)
+        if ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+        self.ranks_per_node = ranks_per_node
+        self.gpus_per_rank = gpus_per_rank
+        self.placement = placement
+        self.tracer = Tracer()
+        n_nodes = math.ceil(n_ranks / ranks_per_node)
+
+        def node_of(r: int) -> int:
+            if placement == "block":
+                return r // ranks_per_node
+            return r % n_nodes
+
+        self.ranks: list[RankContext] = [
+            RankContext(
+                rank_id=r,
+                node=node_of(r),
+                machine=self.machine,
+                tracer=self.tracer,
+                backend=backend,
+                gpus_per_rank=gpus_per_rank,
+            )
+            for r in range(n_ranks)
+        ]
+
+    @property
+    def n_ranks(self) -> int:
+        """Total simulated MPI ranks."""
+        return len(self.ranks)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of (simulated) compute nodes occupied."""
+        return math.ceil(self.n_ranks / self.ranks_per_node)
+
+    def makespan(self) -> float:
+        """Current parallel time: the furthest-ahead rank clock."""
+        return max(r.clock.now for r in self.ranks)
+
+    def reset_clocks(self) -> None:
+        """Zero every rank clock and clear the tracer (fresh experiment)."""
+        for r in self.ranks:
+            r.clock.reset()
+        self.tracer.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VirtualCluster({self.n_ranks} ranks on {self.n_nodes} nodes, "
+            f"backend={self.backend.value}, machine={self.machine.name})"
+        )

@@ -1,0 +1,242 @@
+"""Collective communication over a set of simulated ranks.
+
+Semantics follow MPI/NCCL: all participants provide equally-shaped
+buffers; the collective both **moves the real data** (numeric mode) and
+**charges modeled time** onto every participant's clock.  Participants
+are synchronized at entry (barrier semantics: entry time = max of the
+participants' clocks) — this is what turns per-rank charges into a
+correct parallel makespan.
+
+Backend behaviour (paper Sec. 3.3):
+
+* ``MPI_STAGED`` (ChASE-STD) — each rank stages the payload
+  device->host before the MPI call and host->device after it (charged
+  as DATAMOVE), then pays the MPI collective model (charged as COMM);
+* ``NCCL`` — no staging; NCCL ring model charged as COMM;
+* ``MPI_HOST`` — no staging (buffers already on the host).
+"""
+
+from __future__ import annotations
+
+import math
+from numbers import Number
+
+import numpy as np
+
+from repro.arrays import is_phantom, nbytes_of
+from repro.runtime.rank import RankContext
+
+__all__ = ["Communicator", "CommStats"]
+
+
+class CommStats:
+    """Message/byte counters for one communicator.
+
+    These counters back the paper's Sec. 2.3 argument quantitatively:
+    the v1.2 gather-by-broadcasts pattern's *message count* grows with
+    the communicator while the new scheme's stays constant.
+    """
+
+    __slots__ = ("collectives", "messages", "bytes_moved")
+
+    def __init__(self) -> None:
+        self.collectives = 0   # collective operations issued
+        self.messages = 0      # modeled point-to-point messages inside them
+        self.bytes_moved = 0.0 # payload bytes per participant, summed
+
+    def record(self, nbytes: float, p: int, messages: int) -> None:
+        """Account one collective of ``nbytes`` payload over ``p`` ranks."""
+        self.collectives += 1
+        self.messages += messages
+        self.bytes_moved += nbytes * p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommStats(collectives={self.collectives}, "
+            f"messages={self.messages}, bytes={self.bytes_moved:.3g})"
+        )
+
+
+class Communicator:
+    """An ordered group of ranks, analogous to an MPI/NCCL communicator."""
+
+    def __init__(self, ranks: list[RankContext]):
+        if not ranks:
+            raise ValueError("communicator needs at least one rank")
+        self.ranks = list(ranks)
+        backend = ranks[0].backend
+        machine = ranks[0].machine
+        if any(r.backend is not backend for r in ranks):
+            raise ValueError("mixed backends within a communicator")
+        self.backend = backend
+        self.machine = machine
+        self.model = backend.collective_model(machine)
+        self.stats = CommStats()
+
+    # -- topology -----------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of participating ranks."""
+        return len(self.ranks)
+
+    @property
+    def spans_nodes(self) -> bool:
+        """True when the communicator crosses node boundaries."""
+        return len({r.node for r in self.ranks}) > 1
+
+    def rank_index(self, rank: RankContext) -> int:
+        """Position of ``rank`` within this communicator (its root id)."""
+        return self.ranks.index(rank)
+
+    # -- internals ------------------------------------------------------------------
+    def _barrier_entry(self) -> None:
+        t = max(r.clock.now for r in self.ranks)
+        for r in self.ranks:
+            r.clock.sync_to(t)
+
+    def _check_buffers(self, buffers) -> tuple[float, bool]:
+        """Validate one buffer per rank; return (payload bytes, is_scalar)."""
+        if len(buffers) != self.size:
+            raise ValueError(
+                f"expected {self.size} buffers (one per rank), got {len(buffers)}"
+            )
+        if all(isinstance(b, Number) for b in buffers):
+            return 8.0, True
+        phantoms = [is_phantom(b) for b in buffers]
+        if any(phantoms) and not all(phantoms):
+            raise TypeError("mixed phantom/real buffers in one collective")
+        shapes = {tuple(b.shape) for b in buffers}
+        if len(shapes) != 1:
+            raise ValueError(f"buffer shapes differ across ranks: {shapes}")
+        return float(nbytes_of(buffers[0])), False
+
+    def _stage(self, nbytes: float, direction: str) -> None:
+        """Host staging for the STD backend (skipped when payload is 0)."""
+        if not self.backend.stages_through_host or nbytes <= 0:
+            return
+        for r in self.ranks:
+            if direction == "d2h":
+                r.stage_d2h(nbytes)
+            else:
+                r.stage_h2d(nbytes)
+
+    def _charge_comm_all(self, dt: float) -> None:
+        for r in self.ranks:
+            r.charge_comm(dt)
+
+    # -- collectives --------------------------------------------------------------------
+    def allreduce(self, buffers, op: str = "sum"):
+        """SUM-allreduce one buffer per rank.
+
+        Real arrays are updated **in place** (so views into larger rank
+        buffers work as MPI_IN_PLACE does); scalars and phantoms are
+        returned as a new list.  Returns the list of per-rank results.
+        """
+        if op != "sum":
+            raise NotImplementedError("only SUM allreduce is used by ChASE")
+        nbytes, scalar = self._check_buffers(buffers)
+        if self.size == 1:
+            return list(buffers)
+        self.stats.record(nbytes, self.size, 2 * math.ceil(math.log2(self.size)))
+        self._stage(nbytes, "d2h")
+        self._barrier_entry()
+        self._charge_comm_all(self.model.allreduce(nbytes, self.size, self.spans_nodes))
+        self._stage(nbytes, "h2d")
+        if scalar:
+            total = sum(buffers)
+            return [total] * self.size
+        if is_phantom(buffers[0]):
+            return list(buffers)
+        total = buffers[0].copy()
+        for b in buffers[1:]:
+            total += b
+        for b in buffers:
+            b[...] = total
+        return list(buffers)
+
+    def bcast(self, buffers, root: int):
+        """Broadcast the root's buffer into every rank's buffer (in place)."""
+        if not 0 <= root < self.size:
+            raise IndexError(f"root {root} out of range for size {self.size}")
+        nbytes, scalar = self._check_buffers(buffers)
+        if self.size == 1:
+            return list(buffers)
+        self.stats.record(nbytes, self.size, math.ceil(math.log2(self.size)))
+        self._stage(nbytes, "d2h")
+        self._barrier_entry()
+        self._charge_comm_all(self.model.bcast(nbytes, self.size, self.spans_nodes))
+        self._stage(nbytes, "h2d")
+        if scalar:
+            return [buffers[root]] * self.size
+        if is_phantom(buffers[0]):
+            return list(buffers)
+        src = buffers[root]
+        for i, b in enumerate(buffers):
+            if i != root:
+                b[...] = src
+        return list(buffers)
+
+    def allgather(self, buffers):
+        """Ring allgather; every rank receives the list of all blocks.
+
+        Blocks may have *different* shapes (row-block layouts); the cost
+        uses the mean block size, matching a v-collective.
+        """
+        if len(buffers) != self.size:
+            raise ValueError("one buffer per rank required")
+        nbytes = float(np.mean([nbytes_of(b) if not isinstance(b, Number) else 8.0
+                                for b in buffers]))
+        self.stats.record(nbytes, self.size, max(self.size - 1, 0))
+        self._stage(nbytes * self.size, "d2h")
+        self._barrier_entry()
+        self._charge_comm_all(
+            self.model.allgather(nbytes, self.size, self.spans_nodes)
+        )
+        self._stage(nbytes * self.size, "h2d")
+        return [list(buffers) for _ in range(self.size)]
+
+    def allgather_by_bcasts(self, buffers):
+        """v1.2-style collection: one broadcast *per participating rank*.
+
+        This reproduces the paper's Sec. 2.3 limitation — "the collection
+        is obtained by the individual broadcasting of a buffer for each
+        task", so the message count grows linearly with the communicator
+        size (when the rank count quadruples, the number of messages
+        doubles per row/column communicator).
+        """
+        if len(buffers) != self.size:
+            raise ValueError("one buffer per rank required")
+        for root in range(self.size):
+            b = buffers[root]
+            nbytes = 8.0 if isinstance(b, Number) else float(nbytes_of(b))
+            self.stats.record(nbytes, self.size, math.ceil(math.log2(max(self.size, 2))))
+            self._stage(nbytes, "d2h")
+            self._barrier_entry()
+            self._charge_comm_all(
+                self.model.bcast(nbytes, self.size, self.spans_nodes)
+            )
+            self._stage(nbytes, "h2d")
+        return [list(buffers) for _ in range(self.size)]
+
+    def barrier(self) -> None:
+        """Synchronize all participants' clocks (no payload)."""
+        self._barrier_entry()
+
+    def charge_collective(self, dt: float) -> None:
+        """Synchronize participants and charge ``dt`` seconds of COMM.
+
+        Escape hatch for kernels whose *cost* follows a communication
+        pattern the simulator does not literally execute (e.g. the
+        panel-wise messages of ScaLAPACK HHQR, whose numerics are
+        computed directly from the assembled blocks).
+        """
+        self._barrier_entry()
+        self._charge_comm_all(dt)
+
+    def stage_all(self, nbytes: float, direction: str) -> None:
+        """Charge a host-staging copy on every participant (DATAMOVE)."""
+        for r in self.ranks:
+            if direction == "d2h":
+                r.stage_d2h(nbytes)
+            else:
+                r.stage_h2d(nbytes)

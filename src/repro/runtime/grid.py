@@ -1,0 +1,93 @@
+"""2D process grid with row and column communicators.
+
+ChASE organizes its MPI processes "as a 2D grid whose shape is as square
+as possible" (paper Sec. 2.2).  Ranks are laid out row-major: the rank
+with grid coordinates ``(i, j)`` is ``cluster.ranks[i*q + j]``.
+
+* ``row_comm(i)`` — ranks ``(i, 0..q-1)``; hosts the B/B2 buffers and
+  the Rayleigh-Ritz / residual allreduces (Algorithm 2 lines 17, 24);
+* ``col_comm(j)`` — ranks ``(0..p-1, j)``; hosts the C/C2 buffers, the
+  1D-CAQR (line 12) and the C -> B2 broadcasts (lines 14, 20).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.runtime.cluster import VirtualCluster
+from repro.runtime.communicator import Communicator
+from repro.runtime.rank import RankContext
+
+__all__ = ["Grid2D", "squarest_grid"]
+
+
+def squarest_grid(n_ranks: int) -> tuple[int, int]:
+    """Factor ``n_ranks = p * q`` with ``p <= q`` and ``p`` maximal."""
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    p = int(math.isqrt(n_ranks))
+    while n_ranks % p:
+        p -= 1
+    return p, n_ranks // p
+
+
+class Grid2D:
+    """A ``p x q`` view of a cluster's ranks with cached communicators."""
+
+    def __init__(self, cluster: VirtualCluster, p: int | None = None, q: int | None = None):
+        n = cluster.n_ranks
+        if p is None and q is None:
+            p, q = squarest_grid(n)
+        elif p is None:
+            if n % q:
+                raise ValueError(f"{n} ranks do not tile with q={q}")
+            p = n // q
+        elif q is None:
+            if n % p:
+                raise ValueError(f"{n} ranks do not tile with p={p}")
+            q = n // p
+        if p * q != n:
+            raise ValueError(f"grid {p}x{q} != {n} ranks")
+        self.cluster = cluster
+        self.p, self.q = int(p), int(q)
+        for i in range(self.p):
+            for j in range(self.q):
+                cluster.ranks[i * self.q + j].coords = (i, j)
+        self._row_comms = [
+            Communicator([self.rank_at(i, j) for j in range(self.q)])
+            for i in range(self.p)
+        ]
+        self._col_comms = [
+            Communicator([self.rank_at(i, j) for i in range(self.p)])
+            for j in range(self.q)
+        ]
+
+    @property
+    def is_square(self) -> bool:
+        """True for p == q — ChASE's optimal configuration (Sec. 3.1)."""
+        return self.p == self.q
+
+    @property
+    def ranks(self) -> list[RankContext]:
+        return self.cluster.ranks
+
+    def rank_at(self, i: int, j: int) -> RankContext:
+        """The rank at grid coordinates ``(i, j)`` (row-major layout)."""
+        if not (0 <= i < self.p and 0 <= j < self.q):
+            raise IndexError(f"grid coords ({i},{j}) out of {self.p}x{self.q}")
+        return self.cluster.ranks[i * self.q + j]
+
+    def row_comm(self, i: int) -> Communicator:
+        """Communicator of grid row ``i`` (hosts the B/B2 collectives)."""
+        return self._row_comms[i]
+
+    def col_comm(self, j: int) -> Communicator:
+        """Communicator of grid column ``j`` (hosts C/C2 and the 1D QR)."""
+        return self._col_comms[j]
+
+    def coords_of(self, rank: RankContext) -> tuple[int, int]:
+        assert rank.coords is not None
+        return rank.coords
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Grid2D({self.p}x{self.q} on {self.cluster!r})"

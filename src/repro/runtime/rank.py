@@ -1,0 +1,122 @@
+"""Rank context: one simulated MPI process bound to one (or more) GPUs."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.perfmodel.kernels import KernelTimeModel
+from repro.perfmodel.machine import MachineSpec
+from repro.runtime.backend import CommBackend
+from repro.runtime.clock import Clock, CostCategory
+from repro.runtime.device import LocalKernels
+from repro.runtime.tracer import Tracer
+
+__all__ = ["RankContext"]
+
+
+class RankContext:
+    """One simulated MPI rank.
+
+    Holds the rank's clock, its (possibly multi-GPU) device kernel set
+    ``gpu``, a host kernel set ``cpu`` (used for the BLAS-1 residual
+    reductions the STD/LMS builds keep on the CPU, paper Sec. 3.3), and
+    the PCIe staging helpers that the STD backend charges as DATAMOVE.
+
+    The paper's configurations map to:
+
+    * ChASE(STD)/ChASE(NCCL): ``gpus_per_rank=1`` (4 ranks/node);
+    * ChASE(LMS): ``gpus_per_rank=4`` (1 rank/node) — GEMM-like kernels
+      are split across the node's GPUs (rates scaled 4x) while the
+      redundant factorizations run on a single device.
+    """
+
+    def __init__(
+        self,
+        rank_id: int,
+        node: int,
+        machine: MachineSpec,
+        tracer: Tracer,
+        backend: CommBackend,
+        gpus_per_rank: int = 1,
+    ) -> None:
+        if gpus_per_rank < 1:
+            raise ValueError("gpus_per_rank must be >= 1")
+        self.rank_id = int(rank_id)
+        self.node = int(node)
+        self.machine = machine
+        self.tracer = tracer
+        self.backend = backend
+        self.gpus_per_rank = int(gpus_per_rank)
+        self.clock = Clock()
+        self.coords: tuple[int, int] | None = None  # set by Grid2D
+        #: compute-slowdown multiplier (1.0 = nominal).  Setting it above
+        #: 1 models a straggler (thermally throttled GPU, noisy
+        #: neighbour); collectives then propagate its delay to every
+        #: coupled rank through the barrier semantics.
+        self.slowdown = 1.0
+
+        gpu_spec = machine.gpu
+        if gpus_per_rank > 1:
+            gpu_spec = replace(
+                gpu_spec,
+                gemm_rate=gpu_spec.gemm_rate * gpus_per_rank,
+                level3_rate=gpu_spec.level3_rate * gpus_per_rank,
+                blas1_bandwidth=gpu_spec.blas1_bandwidth * gpus_per_rank,
+            )
+        self.gpu_spec = gpu_spec
+        # late-bound charge sink: looked up per call so instrumentation
+        # (e.g. repro.runtime.timeline) can wrap charge_compute afterwards
+        charge = lambda dt: self.charge_compute(dt)  # noqa: E731
+        self.gpu = LocalKernels(KernelTimeModel(gpu_spec), charge)
+        self.cpu = LocalKernels(KernelTimeModel(machine.cpu), charge)
+
+    # default kernel set: device-resident builds compute on the GPU
+    @property
+    def k(self) -> LocalKernels:
+        return self.gpu if self.backend.device_resident else self.cpu
+
+    @property
+    def qr_kernels(self) -> LocalKernels:
+        """Kernel set for the CholeskyQR factorization kernels.
+
+        The STD build keeps the QR on the host: with per-kernel staging
+        and MPI collectives in between, offloading the tall-skinny QR
+        kernels buys nothing — this placement is what reproduces the
+        paper's Fig. 2 QR ratios (LMS/STD ~22x, STD/NCCL ~51x).  The
+        NCCL build runs them on the device; CPU builds on the host.
+        """
+        if self.backend is CommBackend.MPI_STAGED:
+            return self.cpu
+        return self.k
+
+    # -- cost charging ----------------------------------------------------------
+    def charge_compute(self, dt: float) -> None:
+        """Advance this rank by ``dt`` seconds of COMPUTE (slowdown applies)."""
+        dt = dt * self.slowdown
+        self.clock.advance(dt)
+        self.tracer.add(self.rank_id, CostCategory.COMPUTE, dt)
+
+    def charge_comm(self, dt: float) -> None:
+        """Advance this rank by ``dt`` seconds of COMMUNICATION."""
+        self.clock.advance(dt)
+        self.tracer.add(self.rank_id, CostCategory.COMM, dt)
+
+    def charge_datamove(self, dt: float) -> None:
+        """Advance this rank by ``dt`` seconds of host-device DATAMOVE."""
+        self.clock.advance(dt)
+        self.tracer.add(self.rank_id, CostCategory.DATAMOVE, dt)
+
+    # -- host-device staging -------------------------------------------------------
+    def stage_d2h(self, nbytes: float) -> None:
+        """Device -> host copy of ``nbytes`` (PCIe), charged as DATAMOVE."""
+        self.charge_datamove(self.machine.pcie.time(nbytes))
+
+    def stage_h2d(self, nbytes: float) -> None:
+        """Host -> device copy of ``nbytes`` (PCIe), charged as DATAMOVE."""
+        self.charge_datamove(self.machine.pcie.time(nbytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RankContext(id={self.rank_id}, node={self.node}, "
+            f"coords={self.coords}, t={self.clock.now:.4f})"
+        )

@@ -1,0 +1,169 @@
+"""Per-rank event timelines — Gantt-style observability.
+
+The tracer (:mod:`repro.runtime.tracer`) aggregates cost totals; the
+timeline records *intervals*: every charge becomes an event with a
+start/end time on its rank's clock, so an execution can be rendered as
+an ASCII Gantt chart or exported for external tooling (e.g. a Chrome
+``chrome://tracing`` JSON).
+
+Enable by attaching a :class:`Timeline` to a cluster::
+
+    cluster = VirtualCluster(4)
+    timeline = Timeline.attach(cluster)
+    ... run a solver ...
+    print(timeline.render())
+
+Attachment wraps each rank's charge methods; detach restores them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.runtime.clock import CostCategory
+
+__all__ = ["TimelineEvent", "Timeline"]
+
+_GLYPH = {
+    CostCategory.COMPUTE: "#",
+    CostCategory.COMM: "~",
+    CostCategory.DATAMOVE: ".",
+}
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One charged interval on one rank."""
+
+    rank_id: int
+    phase: str
+    category: CostCategory
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Interval length in modeled seconds."""
+        return self.end - self.start
+
+
+class Timeline:
+    """Interval recorder wired into a cluster's rank charge methods."""
+
+    def __init__(self) -> None:
+        self.events: list[TimelineEvent] = []
+        self._restore: list = []
+
+    # -- attachment -------------------------------------------------------------
+    @classmethod
+    def attach(cls, cluster) -> "Timeline":
+        """Start recording every charge on ``cluster``'s ranks."""
+        tl = cls()
+        for rank in cluster.ranks:
+            tl._wrap(rank, cluster.tracer)
+        return tl
+
+    def _wrap(self, rank, tracer) -> None:
+        originals = {
+            CostCategory.COMPUTE: rank.charge_compute,
+            CostCategory.COMM: rank.charge_comm,
+            CostCategory.DATAMOVE: rank.charge_datamove,
+        }
+
+        def make(category, original):
+            def charge(dt: float) -> None:
+                start = rank.clock.now
+                original(dt)
+                self.events.append(
+                    TimelineEvent(
+                        rank_id=rank.rank_id,
+                        phase=tracer.current_phase,
+                        category=category,
+                        start=start,
+                        end=rank.clock.now,
+                    )
+                )
+            return charge
+
+        rank.charge_compute = make(CostCategory.COMPUTE, originals[CostCategory.COMPUTE])
+        rank.charge_comm = make(CostCategory.COMM, originals[CostCategory.COMM])
+        rank.charge_datamove = make(
+            CostCategory.DATAMOVE, originals[CostCategory.DATAMOVE]
+        )
+        self._restore.append((rank, originals))
+
+    def detach(self) -> None:
+        """Restore the wrapped charge methods."""
+        for rank, originals in self._restore:
+            rank.charge_compute = originals[CostCategory.COMPUTE]
+            rank.charge_comm = originals[CostCategory.COMM]
+            rank.charge_datamove = originals[CostCategory.DATAMOVE]
+        self._restore.clear()
+
+    # -- queries ---------------------------------------------------------------
+    def span(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all recorded events."""
+        if not self.events:
+            return 0.0, 0.0
+        return (
+            min(e.start for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+    def rank_events(self, rank_id: int) -> list[TimelineEvent]:
+        """Events charged by one rank, in recording order."""
+        return [e for e in self.events if e.rank_id == rank_id]
+
+    def busy_fraction(self, rank_id: int) -> float:
+        """Charged time / wall span for one rank (1 - idle fraction)."""
+        lo, hi = self.span()
+        wall = hi - lo
+        if wall <= 0:
+            return 0.0
+        busy = sum(e.duration for e in self.rank_events(rank_id))
+        return min(busy / wall, 1.0)
+
+    # -- rendering -----------------------------------------------------------------
+    def render(self, width: int = 80) -> str:
+        """ASCII Gantt chart: one row per rank.
+
+        ``#`` compute, ``~`` communication, ``.`` data movement,
+        spaces idle.  Later events overwrite earlier ones per cell.
+        """
+        if width < 10:
+            raise ValueError("width must be >= 10")
+        lo, hi = self.span()
+        wall = hi - lo
+        ranks = sorted({e.rank_id for e in self.events})
+        lines = [
+            f"timeline: {wall:.6f} s across {len(ranks)} ranks "
+            f"(# compute, ~ comm, . datamove)"
+        ]
+        if wall <= 0:
+            return lines[0]
+        for rid in ranks:
+            row = [" "] * width
+            for e in self.rank_events(rid):
+                a = int((e.start - lo) / wall * (width - 1))
+                b = max(int((e.end - lo) / wall * (width - 1)), a)
+                for x in range(a, b + 1):
+                    row[x] = _GLYPH[e.category]
+            lines.append(f"rank {rid:3d} |{''.join(row)}|")
+        return "\n".join(lines)
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``about://tracing`` / Perfetto JSON export."""
+        payload = [
+            {
+                "name": f"{e.phase}:{e.category.value}",
+                "cat": e.category.value,
+                "ph": "X",
+                "ts": e.start * 1e6,
+                "dur": e.duration * 1e6,
+                "pid": 0,
+                "tid": e.rank_id,
+            }
+            for e in self.events
+        ]
+        return json.dumps(payload)

@@ -1,0 +1,114 @@
+"""Cost aggregation by algorithm phase and cost category.
+
+The paper's Fig. 2 reports, for each ChASE kernel (Filter, QR,
+Rayleigh-Ritz, Residuals), the time spent in computation, communication
+and host-device data movement.  The tracer collects exactly that: every
+cost charge carries the currently active *phase* (set by the solver via
+:meth:`Tracer.phase`) and a :class:`CostCategory`, accumulated per rank.
+
+Reported numbers are the **maximum over ranks** of each (phase,
+category) accumulation — the contribution of the critical path, which is
+what wall-clock measurements on a real machine observe.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.runtime.clock import CostCategory
+
+__all__ = ["Tracer", "PhaseBreakdown"]
+
+_IDLE_PHASE = "<unphased>"
+
+
+@dataclass
+class PhaseBreakdown:
+    """Per-phase cost split, in modeled seconds."""
+
+    phase: str
+    compute: float = 0.0
+    comm: float = 0.0
+    datamove: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm + self.datamove
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "phase": self.phase,
+            "compute": self.compute,
+            "comm": self.comm,
+            "datamove": self.datamove,
+            "total": self.total,
+        }
+
+
+class Tracer:
+    """Accumulates modeled cost per (rank, phase, category)."""
+
+    def __init__(self) -> None:
+        # (rank_id, phase, category) -> seconds
+        self._acc: dict[tuple[int, str, CostCategory], float] = defaultdict(float)
+        self._phase_stack: list[str] = []
+
+    # -- phase scoping --------------------------------------------------------
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else _IDLE_PHASE
+
+    @contextmanager
+    def phase(self, name: str):
+        """Scope subsequent charges to phase ``name`` (re-entrant)."""
+        self._phase_stack.append(name)
+        try:
+            yield self
+        finally:
+            self._phase_stack.pop()
+
+    # -- charging --------------------------------------------------------------
+    def add(self, rank_id: int, category: CostCategory, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("negative cost charge")
+        self._acc[(rank_id, self.current_phase, category)] += dt
+
+    # -- reporting ---------------------------------------------------------------
+    def phases(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for (_r, phase, _c) in self._acc:
+            seen.setdefault(phase, None)
+        return list(seen)
+
+    def rank_total(self, rank_id: int, phase: str, category: CostCategory) -> float:
+        return self._acc.get((rank_id, phase, category), 0.0)
+
+    def breakdown(self, phase: str) -> PhaseBreakdown:
+        """Critical-path (max over ranks) breakdown of one phase."""
+        per_rank: dict[int, dict[CostCategory, float]] = defaultdict(
+            lambda: defaultdict(float)
+        )
+        for (rank_id, ph, cat), dt in self._acc.items():
+            if ph == phase:
+                per_rank[rank_id][cat] += dt
+        if not per_rank:
+            return PhaseBreakdown(phase)
+        # critical rank = the one with the largest phase total
+        crit = max(per_rank.values(), key=lambda d: sum(d.values()))
+        return PhaseBreakdown(
+            phase,
+            compute=crit.get(CostCategory.COMPUTE, 0.0),
+            comm=crit.get(CostCategory.COMM, 0.0),
+            datamove=crit.get(CostCategory.DATAMOVE, 0.0),
+        )
+
+    def total(self, phase: str | None = None) -> float:
+        """Critical-path total time of one phase (or of all phases summed)."""
+        if phase is not None:
+            return self.breakdown(phase).total
+        return sum(self.breakdown(ph).total for ph in self.phases())
+
+    def reset(self) -> None:
+        self._acc.clear()

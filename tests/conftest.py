@@ -1,0 +1,53 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedHermitian
+from repro.runtime import CommBackend, Grid2D, VirtualCluster
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_sym(rng) -> np.ndarray:
+    """A 40x40 real symmetric matrix."""
+    A = rng.standard_normal((40, 40))
+    return (A + A.T) / 2
+
+
+@pytest.fixture
+def small_herm(rng) -> np.ndarray:
+    """A 40x40 complex Hermitian matrix."""
+    A = rng.standard_normal((40, 40)) + 1j * rng.standard_normal((40, 40))
+    return (A + A.conj().T) / 2
+
+
+def make_grid(
+    n_ranks: int = 4,
+    backend: CommBackend = CommBackend.NCCL,
+    p: int | None = None,
+    q: int | None = None,
+    **kw,
+) -> Grid2D:
+    cluster = VirtualCluster(n_ranks, backend=backend, **kw)
+    return Grid2D(cluster, p, q)
+
+
+@pytest.fixture
+def grid22() -> Grid2D:
+    return make_grid(4)
+
+
+@pytest.fixture
+def grid23() -> Grid2D:
+    return make_grid(6, p=2, q=3)
+
+
+def distribute(grid: Grid2D, H: np.ndarray) -> DistributedHermitian:
+    return DistributedHermitian.from_dense(grid, H)

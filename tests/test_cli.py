@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.n == 600 and args.nev == 30 and not args.distributed
+
+    def test_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--backend", "bogus"])
+
+    def test_problem_choices(self):
+        args = build_parser().parse_args(["solve", "--problem", "NaCl-9k"])
+        assert args.problem == "NaCl-9k"
+
+
+class TestCommands:
+    def test_solve_serial(self, capsys):
+        rc = main(["solve", "--n", "200", "--nev", "8", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged: True" in out
+        assert "QR variants" in out
+
+    def test_solve_distributed(self, capsys):
+        rc = main(
+            ["solve", "--n", "200", "--nev", "8", "--distributed",
+             "--backend", "nccl", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "simulated 2x2 grid" in out
+        assert "modeled time-to-solution" in out
+
+    def test_solve_table1_problem(self, capsys):
+        rc = main(["solve", "--problem", "NaCl-9k", "--n", "240", "--seed", "11"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "NaCl-9k" in out
+
+    def test_weak_points(self, capsys):
+        rc = main(["weak", "--nodes", "1", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ChASE(NCCL)" in out and "ChASE(LMS)" in out
+
+    def test_strong_points(self, capsys):
+        rc = main(["strong", "--nodes", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ELPA2-GPU" in out
+
+    def test_suite_small(self, capsys):
+        rc = main(["suite", "--scale", "200"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "NaCl-9k" in out and "TiO2-29k" in out

@@ -1,0 +1,125 @@
+"""Tests for Algorithm 5 (condition estimation) and the degree optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.condest import estimate_condition
+from repro.core.degrees import optimize_degrees, sort_by_degree
+from repro.core.spectra import growth_factor, map_to_reference
+
+
+class TestEstimateCondition:
+    def test_uniform_degrees_formula(self):
+        """With all degrees equal, cond = rho(t)^d with t from the first
+        unconverged Ritz value ... here also the global minimum."""
+        ritzv = np.array([-2.0, -1.5, -1.2])
+        degs = np.array([10, 10, 10])
+        c, e = 1.0, 0.5
+        got = estimate_condition(ritzv, c, e, degs, locked=0)
+        rho = growth_factor(map_to_reference(-2.0, c, e))
+        assert got == pytest.approx(rho**10, rel=1e-10)
+
+    def test_mixed_degrees(self):
+        ritzv = np.array([-3.0, -1.5])
+        degs = np.array([4, 8])
+        c, e = 1.0, 0.5
+        rho = growth_factor(map_to_reference(-3.0, c, e))  # min overall
+        # locked = 0: t == t' (both the global min), d=4, dM=8
+        assert estimate_condition(ritzv, c, e, degs, 0) == pytest.approx(
+            rho**4 * rho**4, rel=1e-10
+        )
+
+    def test_locked_prefix_changes_t(self):
+        ritzv = np.array([-3.0, -1.5, -1.2])
+        degs = np.array([0, 6, 6])
+        c, e = 1.0, 0.5
+        rho_p = growth_factor(map_to_reference(-3.0, c, e))
+        rho = growth_factor(map_to_reference(-1.5, c, e))
+        got = estimate_condition(ritzv, c, e, degs, locked=1)
+        assert got == pytest.approx(rho**6 * rho_p**0, rel=1e-10)
+
+    def test_capped_no_overflow(self):
+        ritzv = np.array([-1e6, -1.0])
+        degs = np.array([36, 36])
+        cond = estimate_condition(ritzv, 1.0, 0.5, degs, 0)
+        assert np.isfinite(cond)
+
+    def test_locked_out_of_range(self):
+        with pytest.raises(ValueError):
+            estimate_condition(np.array([1.0]), 2.0, 0.5, np.array([2]), 1)
+
+    def test_is_upper_bound_for_actual_filter(self):
+        """Build an orthonormal block, filter it explicitly, and check the
+        Algorithm 5 estimate bounds the computed condition number."""
+        rng = np.random.default_rng(3)
+        N, ne = 200, 12
+        lam = np.linspace(-2.0, 2.0, N)
+        H = np.diag(lam)
+        from repro.core.serial import _filter_serial
+
+        V = np.linalg.qr(rng.standard_normal((N, ne)))[0]
+        mu_ne = lam[ne]
+        b_sup = 2.0 + 1e-6
+        c, e = (b_sup + mu_ne) / 2, (b_sup - mu_ne) / 2
+        for degs in ([10] * ne, list(range(6, 6 + 2 * ne, 2))):
+            degs = np.array(sorted(degs))
+            F, _ = _filter_serial(H, V.copy(), degs, c, e, lam[0])
+            kappa = np.linalg.cond(F)
+            est = estimate_condition(lam[:ne], c, e, degs, locked=0)
+            assert est >= kappa * 0.5  # paper allows a last-digit miss at it=1
+
+
+class TestOptimizeDegrees:
+    def test_converged_gets_minimum(self):
+        degs = optimize_degrees(
+            np.array([1e-12]), np.array([-2.0]), 1.0, 0.5, tol=1e-10
+        )
+        assert degs[0] <= 6
+
+    def test_harder_vectors_get_higher_degree(self):
+        # same residual, eigenvalue closer to the filter interval -> slower
+        # growth -> larger degree
+        degs = optimize_degrees(
+            np.array([1e-2, 1e-2]), np.array([-3.0, -0.2]), 1.0, 0.5, tol=1e-10
+        )
+        assert degs[1] > degs[0]
+
+    def test_all_even_and_bounded(self):
+        rng = np.random.default_rng(0)
+        degs = optimize_degrees(
+            rng.uniform(1e-12, 1, 50), rng.uniform(-5, -0.1, 50), 1.0, 0.5, 1e-10
+        )
+        assert np.all(degs % 2 == 0)
+        assert np.all((degs >= 2) & (degs <= 36))
+
+    def test_max_deg_respected(self):
+        degs = optimize_degrees(
+            np.array([1.0]), np.array([-0.51]), 1.0, 0.5, 1e-14, max_deg=20
+        )
+        assert degs[0] <= 20
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            optimize_degrees(np.zeros(3), np.zeros(2), 1.0, 0.5, 1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 30),
+        seed=st.integers(0, 99),
+        tol=st.floats(1e-13, 1e-6),
+    )
+    def test_property_even_bounded(self, n, seed, tol):
+        rng = np.random.default_rng(seed)
+        degs = optimize_degrees(
+            rng.uniform(0, 10, n), rng.uniform(-10, 0.4, n), 1.0, 0.5, tol
+        )
+        assert np.all(degs % 2 == 0) and np.all(degs >= 2) and np.all(degs <= 36)
+
+
+class TestSortByDegree:
+    def test_stable_ascending(self):
+        degs = np.array([8, 2, 8, 4])
+        order = sort_by_degree(degs)
+        np.testing.assert_array_equal(degs[order], [2, 4, 8, 8])
+        np.testing.assert_array_equal(order, [1, 3, 0, 2])  # stability

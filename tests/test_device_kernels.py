@@ -1,0 +1,180 @@
+"""Unit tests for the cost-charged local kernels."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import PhantomArray, is_phantom
+from repro.perfmodel import KernelTimeModel, juwels_booster
+from repro.runtime.device import LocalKernels
+
+
+@pytest.fixture
+def kern():
+    charges = []
+    k = LocalKernels(KernelTimeModel(juwels_booster().gpu), charges.append)
+    k._charges = charges
+    return k
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestGemm:
+    def test_notrans(self, kern, rng):
+        A, B = rng.standard_normal((4, 6)), rng.standard_normal((6, 3))
+        np.testing.assert_allclose(kern.gemm(A, B), A @ B)
+
+    def test_conj_transpose(self, kern, rng):
+        A = rng.standard_normal((4, 6)) + 1j * rng.standard_normal((4, 6))
+        B = rng.standard_normal((4, 3)) + 1j * rng.standard_normal((4, 3))
+        np.testing.assert_allclose(kern.gemm(A, B, op_a="C"), A.conj().T @ B)
+
+    def test_plain_transpose(self, kern, rng):
+        A = rng.standard_normal((4, 6)) + 1j * rng.standard_normal((4, 6))
+        B = rng.standard_normal((4, 3)).astype(complex)
+        np.testing.assert_allclose(kern.gemm(A, B, op_a="T"), A.T @ B)
+
+    def test_alpha(self, kern, rng):
+        A, B = rng.standard_normal((3, 3)), rng.standard_normal((3, 3))
+        np.testing.assert_allclose(kern.gemm(A, B, alpha=2.5), 2.5 * A @ B)
+
+    def test_shape_mismatch(self, kern):
+        with pytest.raises(ValueError):
+            kern.gemm(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_phantom_propagation(self, kern):
+        A = PhantomArray((4, 6), np.float64)
+        B = PhantomArray((6, 3), np.float64)
+        out = kern.gemm(A, B)
+        assert is_phantom(out) and out.shape == (4, 3)
+
+    def test_charges_recorded(self, kern, rng):
+        kern.gemm(rng.standard_normal((8, 8)), rng.standard_normal((8, 8)))
+        assert len(kern._charges) == 1 and kern._charges[0] > 0
+
+
+class TestFactorizations:
+    def test_syrk_is_gram(self, kern, rng):
+        X = rng.standard_normal((10, 4)) + 1j * rng.standard_normal((10, 4))
+        G = kern.syrk(X)
+        np.testing.assert_allclose(G, X.conj().T @ X, atol=1e-12)
+        np.testing.assert_allclose(G, G.conj().T, atol=1e-14)
+
+    def test_potrf_roundtrip(self, kern, rng):
+        X = rng.standard_normal((20, 5))
+        G = X.T @ X + 5 * np.eye(5)
+        R, info = kern.potrf(G)
+        assert info == 0
+        np.testing.assert_allclose(R.conj().T @ R, G, rtol=1e-10)
+        assert np.allclose(R, np.triu(R))
+
+    def test_potrf_breakdown_info(self, kern):
+        G = -np.eye(3)
+        _R, info = kern.potrf(G)
+        assert info != 0
+
+    def test_trsm_inverts_potrf(self, kern, rng):
+        X = rng.standard_normal((30, 6))
+        G = X.T @ X
+        R, info = kern.potrf(G)
+        assert info == 0
+        Q = kern.trsm(X, R)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(6), atol=1e-10)
+
+    def test_trsm_complex(self, kern, rng):
+        X = rng.standard_normal((30, 4)) + 1j * rng.standard_normal((30, 4))
+        G = kern.syrk(X)
+        R, info = kern.potrf(G)
+        assert info == 0
+        Q = kern.trsm(X, R)
+        np.testing.assert_allclose(Q.conj().T @ Q, np.eye(4), atol=1e-10)
+
+    def test_qr_orthogonal(self, kern, rng):
+        X = rng.standard_normal((25, 7))
+        Q = kern.qr(X)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(7), atol=1e-12)
+        # spans the same space
+        P1 = Q @ Q.T
+        Qref, _ = np.linalg.qr(X)
+        np.testing.assert_allclose(P1, Qref @ Qref.T, atol=1e-10)
+
+    def test_eigh(self, kern, rng):
+        A = rng.standard_normal((8, 8))
+        A = (A + A.T) / 2
+        w, V = kern.eigh(A)
+        np.testing.assert_allclose(A @ V, V * w[None, :], atol=1e-10)
+        assert np.all(np.diff(w) >= 0)
+
+    def test_phantom_factorizations(self, kern):
+        G = PhantomArray((5, 5), np.float64)
+        R, info = kern.potrf(G)
+        assert info == 0 and is_phantom(R)
+        X = PhantomArray((10, 5), np.float64)
+        assert is_phantom(kern.trsm(X, R))
+        assert is_phantom(kern.qr(X))
+        w, V = kern.eigh(G)
+        assert is_phantom(w) and is_phantom(V)
+        assert is_phantom(kern.syrk(X)) and kern.syrk(X).shape == (5, 5)
+
+
+class TestBlas1:
+    def test_axpby(self, kern, rng):
+        X, Y = rng.standard_normal((4, 3)), rng.standard_normal((4, 3))
+        np.testing.assert_allclose(kern.axpby(2.0, X, -1.0, Y), 2 * X - Y)
+
+    def test_axpy_into_slices(self, kern, rng):
+        W = rng.standard_normal((6, 3))
+        X = rng.standard_normal((8, 3))
+        W0 = W.copy()
+        kern.axpy_into(W, slice(1, 4), X, slice(5, 8), -0.5)
+        np.testing.assert_allclose(W[1:4], W0[1:4] - 0.5 * X[5:8])
+        np.testing.assert_allclose(W[0], W0[0])
+
+    def test_scale_in_place(self, kern):
+        X = np.ones((3, 2))
+        out = kern.scale(X, 3.0)
+        assert out is X
+        np.testing.assert_allclose(X, 3.0)
+
+    def test_scale_columns(self, kern, rng):
+        X = rng.standard_normal((5, 3))
+        v = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(kern.scale_columns(X, v), X * v)
+
+    def test_sub_scaled_columns(self, kern, rng):
+        B, B2 = rng.standard_normal((5, 3)), rng.standard_normal((5, 3))
+        lam = np.array([1.0, -2.0, 0.5])
+        np.testing.assert_allclose(
+            kern.sub_scaled_columns(B, B2, lam), B - B2 * lam
+        )
+
+    def test_colnorms_sq(self, kern, rng):
+        X = rng.standard_normal((10, 4)) + 1j * rng.standard_normal((10, 4))
+        np.testing.assert_allclose(
+            kern.colnorms_sq(X), np.linalg.norm(X, axis=0) ** 2
+        )
+
+    def test_dot_columns(self, kern, rng):
+        X = rng.standard_normal((10, 3)) + 1j * rng.standard_normal((10, 3))
+        Y = rng.standard_normal((10, 3)) + 1j * rng.standard_normal((10, 3))
+        ref = np.array([np.vdot(X[:, j], Y[:, j]) for j in range(3)])
+        np.testing.assert_allclose(kern.dot_columns(X, Y), ref)
+
+    def test_frob_norm_sq(self, kern, rng):
+        X = rng.standard_normal((7, 2))
+        assert kern.frob_norm_sq(X) == pytest.approx(np.sum(X**2))
+
+    def test_add_diag(self, kern):
+        G = np.zeros((3, 3))
+        out = kern.add_diag(G, 2.0)
+        np.testing.assert_allclose(out, 2 * np.eye(3))
+        assert np.all(G == 0)  # input untouched
+
+    def test_phantom_blas1(self, kern):
+        X = PhantomArray((5, 3), np.float64)
+        assert is_phantom(kern.axpby(1.0, X, 1.0, X))
+        assert is_phantom(kern.colnorms_sq(X))
+        assert kern.frob_norm_sq(X) == 1.0
+        assert is_phantom(kern.dot_columns(X, X))

@@ -1,0 +1,125 @@
+"""Tests for DistributedHermitian and DistributedMultiVector."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import PhantomArray
+from repro.distributed import DistributedHermitian, DistributedMultiVector
+
+
+class TestDistributedHermitian:
+    def test_roundtrip_block(self, grid23, small_sym):
+        Hd = DistributedHermitian.from_dense(grid23, small_sym)
+        np.testing.assert_allclose(Hd.to_dense(), small_sym)
+
+    def test_roundtrip_block_cyclic(self, grid23, small_herm):
+        Hd = DistributedHermitian.from_dense(grid23, small_herm, block_size=3)
+        np.testing.assert_allclose(Hd.to_dense(), small_herm)
+
+    def test_local_block_shapes(self, grid23, small_sym):
+        Hd = DistributedHermitian.from_dense(grid23, small_sym)
+        for i in range(2):
+            for j in range(3):
+                assert Hd.local(i, j).shape == (Hd.n_r(i), Hd.n_c(j))
+
+    def test_non_square_rejected(self, grid22):
+        with pytest.raises(ValueError):
+            DistributedHermitian.from_dense(grid22, np.zeros((3, 4)))
+
+    def test_non_hermitian_rejected(self, grid22, rng):
+        A = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError):
+            DistributedHermitian.from_dense(grid22, A)
+
+    def test_phantom_blocks(self, grid22):
+        Hd = DistributedHermitian.phantom(grid22, 100, np.complex128)
+        blk = Hd.local(0, 0)
+        assert isinstance(blk, PhantomArray)
+        assert blk.shape == (50, 50)
+
+
+class TestDistributedMultiVector:
+    def test_from_global_gather_roundtrip(self, grid23, rng):
+        g = grid23
+        V = rng.standard_normal((40, 7))
+        rowmap = DistributedHermitian.from_dense(g, np.eye(40)).rowmap
+        for layout, imap in [("C", rowmap), ("B", DistributedHermitian.from_dense(g, np.eye(40)).colmap)]:
+            mv = DistributedMultiVector.from_global(g, V, imap, layout)
+            np.testing.assert_allclose(mv.gather(0), V)
+            assert mv.replication_error() == 0.0
+
+    def test_zeros_shapes(self, grid23):
+        from repro.distributed import BlockMap1D
+
+        mv = DistributedMultiVector.zeros(grid23, BlockMap1D(40, 2), "C", 5, np.float64, False)
+        assert mv.local(0, 0).shape == (20, 5)
+        assert mv.local(1, 2).shape == (20, 5)
+
+    def test_view_cols_is_view(self, grid22, rng):
+        from repro.distributed import BlockMap1D
+
+        mv = DistributedMultiVector.zeros(grid22, BlockMap1D(10, 2), "C", 6, np.float64, False)
+        v = mv.view_cols(2, 4)
+        v.blocks[(0, 0)][...] = 7.0
+        assert np.all(mv.blocks[(0, 0)][:, 2:4] == 7.0)
+        assert np.all(mv.blocks[(0, 0)][:, :2] == 0.0)
+
+    def test_view_cols_bad_range(self, grid22):
+        from repro.distributed import BlockMap1D
+
+        mv = DistributedMultiVector.zeros(grid22, BlockMap1D(10, 2), "C", 6, np.float64, False)
+        with pytest.raises(ValueError):
+            mv.view_cols(4, 2)
+
+    def test_write_into(self, grid22, rng):
+        from repro.distributed import BlockMap1D
+
+        m = BlockMap1D(10, 2)
+        big = DistributedMultiVector.zeros(grid22, m, "C", 6, np.float64, False)
+        V = rng.standard_normal((10, 2))
+        small = DistributedMultiVector.from_global(grid22, V, m, "C")
+        small.write_into(big, 3)
+        np.testing.assert_allclose(big.gather(0)[:, 3:5], V)
+
+    def test_permute_columns(self, grid22, rng):
+        from repro.distributed import BlockMap1D
+
+        m = BlockMap1D(10, 2)
+        V = rng.standard_normal((10, 4))
+        mv = DistributedMultiVector.from_global(grid22, V, m, "C")
+        perm = np.array([2, 0, 3, 1])
+        mv.permute_columns(perm)
+        np.testing.assert_allclose(mv.gather(0), V[:, perm])
+
+    def test_permute_wrong_length(self, grid22):
+        from repro.distributed import BlockMap1D
+
+        mv = DistributedMultiVector.zeros(grid22, BlockMap1D(10, 2), "C", 4, np.float64, False)
+        with pytest.raises(ValueError):
+            mv.permute_columns(np.array([0, 1]))
+
+    def test_copy_cols_from(self, grid22, rng):
+        from repro.distributed import BlockMap1D
+
+        m = BlockMap1D(10, 2)
+        a = DistributedMultiVector.from_global(grid22, rng.standard_normal((10, 4)), m, "C")
+        b = DistributedMultiVector.from_global(grid22, rng.standard_normal((10, 4)), m, "C")
+        ref = a.gather(0).copy()
+        ref[:, 1:3] = b.gather(0)[:, 1:3]
+        a.copy_cols_from(b, 1, 3)
+        np.testing.assert_allclose(a.gather(0), ref)
+
+    def test_phantom_noops(self, grid22):
+        from repro.distributed import BlockMap1D
+
+        mv = DistributedMultiVector.zeros(grid22, BlockMap1D(10, 2), "C", 4, np.float64, True)
+        assert mv.is_phantom
+        mv.permute_columns(np.arange(4))  # no-op, no crash
+        with pytest.raises(TypeError):
+            mv.gather(0)
+
+    def test_bad_layout_rejected(self, grid22):
+        from repro.distributed import BlockMap1D
+
+        with pytest.raises(ValueError):
+            DistributedMultiVector.zeros(grid22, BlockMap1D(10, 2), "X", 4, np.float64, False)

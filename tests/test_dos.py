@@ -1,0 +1,88 @@
+"""Tests for the spectral Density-of-States estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dos import SpectralDensity, estimate_spectral_density
+from repro.matrices import dft_spectrum, matrix_with_spectrum, uniform_matrix
+
+
+@pytest.fixture
+def dos_uniform(rng):
+    H = uniform_matrix(200, rng=rng)
+    return estimate_spectral_density(H, steps=30, runs=6,
+                                     rng=np.random.default_rng(3))
+
+
+class TestEstimation:
+    def test_bounds_bracket_spectrum(self, rng, dos_uniform):
+        assert dos_uniform.lower <= -1.0 + 1e-8
+        assert dos_uniform.upper >= 1.0 - 1e-8
+
+    def test_total_count_near_N(self, dos_uniform):
+        total = dos_uniform.count_below(dos_uniform.upper + 1)
+        assert total == pytest.approx(200, rel=0.25)
+
+    def test_count_monotone(self, dos_uniform):
+        lams = np.linspace(-1.2, 1.2, 25)
+        counts = [dos_uniform.count_below(l) for l in lams]
+        assert counts == sorted(counts)
+
+    def test_quantile_uniform_spectrum(self, dos_uniform):
+        """For a uniform spectrum on [-1, 1], the k-th eigenvalue is
+        -1 + 2(k-1)/(N-1); the estimate must land in the right region."""
+        for k in (20, 100, 180):
+            exact = -1 + 2 * (k - 1) / 199
+            est = dos_uniform.quantile(k)
+            assert abs(est - exact) < 0.35
+
+    def test_quantile_bounds(self, dos_uniform):
+        with pytest.raises(ValueError):
+            dos_uniform.quantile(0)
+        with pytest.raises(ValueError):
+            dos_uniform.quantile(201)
+
+    def test_dft_spectrum_core_detection(self, rng):
+        """The DoS resolves the gap between core states and band."""
+        lam = dft_spectrum(150, n_core=4)
+        H = matrix_with_spectrum(lam, rng)
+        dos = estimate_spectral_density(H, steps=40, runs=8,
+                                        rng=np.random.default_rng(1))
+        # essentially all weight below the band bottom is the core block
+        assert dos.count_below(-1.0) == pytest.approx(4, abs=3)
+
+    def test_complex_hermitian(self, rng):
+        lam = np.linspace(0, 5, 80)
+        H = matrix_with_spectrum(lam, rng, dtype=np.complex128)
+        dos = estimate_spectral_density(H, rng=np.random.default_rng(2))
+        assert dos.upper >= 5 - 1e-6
+
+    def test_histogram(self, dos_uniform):
+        counts, edges = dos_uniform.histogram(bins=10)
+        assert counts.shape == (10,)
+        assert edges.shape == (11,)
+        assert counts.sum() == pytest.approx(200, rel=0.3)
+
+    def test_histogram_validation(self, dos_uniform):
+        with pytest.raises(ValueError):
+            dos_uniform.histogram(bins=0)
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            estimate_spectral_density(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            estimate_spectral_density(np.eye(4), steps=1)
+        with pytest.raises(ValueError):
+            SpectralDensity.from_samples([], [], 10, 0, 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(20, 100), seed=st.integers(0, 30))
+    def test_property_bounds_always_bracket(self, n, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((n, n))
+        H = (A + A.T) / 2
+        dos = estimate_spectral_density(H, rng=rng)
+        w = np.linalg.eigvalsh(H)
+        assert dos.lower <= w[0] + 1e-8
+        assert dos.upper >= w[-1] - 1e-8

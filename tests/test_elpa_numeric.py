@@ -1,0 +1,123 @@
+"""Tests for the numeric two-stage (ELPA2-style) eigensolver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import band_eigh, elpa2_numeric, reduce_to_band
+from repro.matrices import matrix_with_spectrum, uniform_matrix
+
+
+class TestReduceToBand:
+    def test_band_structure(self, rng):
+        H = uniform_matrix(60, rng=rng)
+        B, _ = reduce_to_band(H, 5)
+        assert np.abs(np.triu(B, 6)).max() == 0.0
+        assert np.abs(np.tril(B, -6)).max() == 0.0
+
+    def test_similarity_transform(self, rng):
+        H = uniform_matrix(50, rng=rng)
+        B, Q1 = reduce_to_band(H, 4)
+        np.testing.assert_allclose(Q1 @ B @ Q1.T, H, atol=1e-12)
+
+    def test_q_orthogonal(self, rng):
+        H = uniform_matrix(40, rng=rng)
+        _B, Q1 = reduce_to_band(H, 3)
+        np.testing.assert_allclose(Q1.T @ Q1, np.eye(40), atol=1e-13)
+
+    def test_eigenvalues_preserved(self, rng):
+        H = uniform_matrix(45, rng=rng)
+        B, _ = reduce_to_band(H, 6)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(B), np.linalg.eigvalsh(H), atol=1e-11
+        )
+
+    def test_complex_hermitian(self, rng):
+        A = rng.standard_normal((40, 40)) + 1j * rng.standard_normal((40, 40))
+        H = (A + A.conj().T) / 2
+        B, Q1 = reduce_to_band(H, 4)
+        np.testing.assert_allclose(Q1 @ B @ Q1.conj().T, H, atol=1e-12)
+        np.testing.assert_allclose(B, B.conj().T, atol=1e-12)
+
+    def test_bandwidth_one_is_tridiagonal(self, rng):
+        H = uniform_matrix(30, rng=rng)
+        B, _ = reduce_to_band(H, 1)
+        assert np.abs(np.triu(B, 2)).max() == 0.0
+
+    def test_invalid_band(self, rng):
+        H = uniform_matrix(10, rng=rng)
+        with pytest.raises(ValueError):
+            reduce_to_band(H, 0)
+        with pytest.raises(ValueError):
+            reduce_to_band(np.zeros((3, 4)), 1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(8, 40), band=st.integers(1, 6), seed=st.integers(0, 50))
+    def test_property_spectrum_invariant(self, n, band, seed):
+        rng = np.random.default_rng(seed)
+        H = uniform_matrix(n, rng=rng)
+        band = min(band, n - 2)
+        B, Q1 = reduce_to_band(H, band)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(B), np.linalg.eigvalsh(H), atol=1e-10
+        )
+
+
+class TestBandEigh:
+    def test_matches_dense_on_band_matrix(self, rng):
+        H = uniform_matrix(50, rng=rng)
+        B, _ = reduce_to_band(H, 4)
+        w, V = band_eigh(B, 4, nev=8)
+        ref = np.linalg.eigvalsh(B)[:8]
+        np.testing.assert_allclose(w, ref, atol=1e-11)
+        R = B @ V - V * w[None, :]
+        assert np.abs(R).max() < 1e-10
+
+    def test_full_spectrum(self, rng):
+        H = uniform_matrix(30, rng=rng)
+        B, _ = reduce_to_band(H, 3)
+        w, V = band_eigh(B, 3)
+        assert w.shape == (30,)
+        np.testing.assert_allclose(w, np.linalg.eigvalsh(B), atol=1e-11)
+
+    def test_invalid_nev(self, rng):
+        H = uniform_matrix(10, rng=rng)
+        B, _ = reduce_to_band(H, 2)
+        with pytest.raises(ValueError):
+            band_eigh(B, 2, nev=0)
+
+
+class TestElpa2Numeric:
+    def test_matches_lapack(self, rng):
+        H = uniform_matrix(80, rng=rng)
+        w, V = elpa2_numeric(H, 10, band=8)
+        np.testing.assert_allclose(w, np.linalg.eigvalsh(H)[:10], atol=1e-11)
+        R = H @ V - V * w[None, :]
+        assert np.abs(R).max() < 1e-10
+        np.testing.assert_allclose(V.T @ V, np.eye(10), atol=1e-11)
+
+    def test_complex(self, rng):
+        lam = np.linspace(-2, 3, 60)
+        H = matrix_with_spectrum(lam, rng, dtype=np.complex128)
+        w, V = elpa2_numeric(H, 6, band=5)
+        np.testing.assert_allclose(w, lam[:6], atol=1e-10)
+
+    def test_band_clamped_for_tiny_matrix(self, rng):
+        H = uniform_matrix(8, rng=rng)
+        w, _ = elpa2_numeric(H, 3, band=16)
+        np.testing.assert_allclose(w, np.linalg.eigvalsh(H)[:3], atol=1e-11)
+
+    def test_agrees_with_chase(self, rng):
+        """The direct two-stage solver and ChASE find the same pairs —
+        the Fig. 3b comparison is apples-to-apples numerically."""
+        from repro import ChaseConfig, chase_serial
+
+        H = uniform_matrix(150, rng=rng)
+        w_elpa, _ = elpa2_numeric(H, 10)
+        res = chase_serial(H, ChaseConfig(nev=10, nex=6), rng=rng)
+        assert res.converged
+        np.testing.assert_allclose(res.eigenvalues, w_elpa, atol=1e-9)
+
+    def test_invalid_nev(self, rng):
+        with pytest.raises(ValueError):
+            elpa2_numeric(uniform_matrix(10, rng=rng), 11)

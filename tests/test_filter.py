@@ -1,0 +1,146 @@
+"""Tests for the distributed Chebyshev filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter import chebyshev_filter, mv_axpby
+from repro.core.serial import _filter_serial
+from repro.distributed import (
+    DistributedHemm,
+    DistributedHermitian,
+    DistributedMultiVector,
+)
+from tests.conftest import make_grid
+
+
+def dist_setup(H, V, p=2, q=2):
+    g = make_grid(p * q, p=p, q=q)
+    Hd = DistributedHermitian.from_dense(g, H)
+    C = DistributedMultiVector.from_global(g, V, Hd.rowmap, "C")
+    return g, Hd, DistributedHemm(Hd), C
+
+
+@pytest.fixture
+def problem(rng):
+    lam = np.linspace(-2.0, 2.0, 36)
+    Q = np.linalg.qr(rng.standard_normal((36, 36)))[0]
+    H = (Q * lam[None, :]) @ Q.T
+    H = (H + H.T) / 2
+    V = rng.standard_normal((36, 6))
+    mu_ne = lam[6]
+    b_sup = 2.001
+    c, e = (b_sup + mu_ne) / 2, (b_sup - mu_ne) / 2
+    return H, V, c, e, lam[0]
+
+
+class TestFilterEquivalence:
+    @pytest.mark.parametrize("p,q", [(1, 1), (2, 2), (2, 3), (3, 2)])
+    def test_matches_serial_uniform_degree(self, problem, p, q):
+        H, V, c, e, mu1 = problem
+        degs = np.full(6, 8, dtype=np.int64)
+        ref, ref_mv = _filter_serial(H, V.copy(), degs, c, e, mu1)
+        g, Hd, hemm, C = dist_setup(H, V, p, q)
+        mv = chebyshev_filter(hemm, C, 0, degs, c, e, mu1)
+        np.testing.assert_allclose(C.gather(0), ref, rtol=1e-9, atol=1e-9)
+        assert mv == ref_mv == 6 * 8
+
+    def test_matches_serial_mixed_degrees(self, problem):
+        H, V, c, e, mu1 = problem
+        degs = np.array([2, 4, 4, 8, 10, 14], dtype=np.int64)
+        ref, _ = _filter_serial(H, V.copy(), degs, c, e, mu1)
+        g, Hd, hemm, C = dist_setup(H, V)
+        mv = chebyshev_filter(hemm, C, 0, degs, c, e, mu1)
+        np.testing.assert_allclose(C.gather(0), ref, rtol=1e-9, atol=1e-9)
+        assert mv == int(degs.sum())
+
+    def test_locked_columns_untouched(self, problem):
+        H, V, c, e, mu1 = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        before = C.gather(0)[:, :2].copy()
+        degs = np.full(4, 6, dtype=np.int64)
+        chebyshev_filter(hemm, C, 2, degs, c, e, mu1)
+        np.testing.assert_allclose(C.gather(0)[:, :2], before)
+
+    def test_filter_is_matrix_polynomial(self, problem):
+        """The filtered block equals p(H) V for a degree-m Chebyshev-type
+        polynomial: verify via eigendecomposition that each eigenvalue
+        component is scaled by the same factor across columns."""
+        H, V, c, e, mu1 = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        m = 8
+        degs = np.full(6, m, dtype=np.int64)
+        chebyshev_filter(hemm, C, 0, degs, c, e, mu1)
+        F = C.gather(0)
+        lam, Q = np.linalg.eigh(H)
+        # coefficient-wise ratio (Q^T F) / (Q^T V) must be a function of
+        # the eigenvalue only
+        num = Q.T @ F
+        den = Q.T @ V
+        ratios = num / den
+        spread = np.abs(ratios - ratios[:, :1]).max()
+        assert spread < 1e-6 * np.abs(ratios).max()
+
+    def test_amplifies_wanted_damps_unwanted(self, problem):
+        H, V, c, e, mu1 = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        degs = np.full(6, 12, dtype=np.int64)
+        chebyshev_filter(hemm, C, 0, degs, c, e, mu1)
+        F = C.gather(0)
+        lam, Q = np.linalg.eigh(H)
+        comp_in = np.linalg.norm(Q[:, :6].T @ F)   # wanted subspace
+        comp_out = np.linalg.norm(Q[:, 6:].T @ F)  # damped subspace
+        in0 = np.linalg.norm(Q[:, :6].T @ V)
+        out0 = np.linalg.norm(Q[:, 6:].T @ V)
+        assert comp_in / comp_out > 1e3 * (in0 / out0)
+
+
+class TestFilterValidation:
+    def test_odd_degree_rejected(self, problem):
+        H, V, c, e, mu1 = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        with pytest.raises(ValueError):
+            chebyshev_filter(hemm, C, 0, np.array([3] * 6), c, e, mu1)
+
+    def test_unsorted_rejected(self, problem):
+        H, V, c, e, mu1 = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        with pytest.raises(ValueError):
+            chebyshev_filter(hemm, C, 0, np.array([8, 4, 4, 4, 4, 4]), c, e, mu1)
+
+    def test_wrong_length_rejected(self, problem):
+        H, V, c, e, mu1 = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        with pytest.raises(ValueError):
+            chebyshev_filter(hemm, C, 0, np.array([4, 4]), c, e, mu1)
+
+    def test_mu1_above_interval_rejected(self, problem):
+        H, V, c, e, _ = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        with pytest.raises(ValueError):
+            chebyshev_filter(hemm, C, 0, np.full(6, 4), c, e, c + e)
+
+    def test_no_active_columns(self, problem):
+        H, V, c, e, mu1 = problem
+        g, Hd, hemm, C = dist_setup(H, V)
+        assert chebyshev_filter(hemm, C, 6, np.empty(0, dtype=np.int64), c, e, mu1) == 0
+
+
+class TestMvAxpby:
+    def test_values(self, rng):
+        g = make_grid(4)
+        from repro.distributed import BlockMap1D
+
+        m = BlockMap1D(20, 2)
+        X = DistributedMultiVector.from_global(g, rng.standard_normal((20, 3)), m, "C")
+        Y = DistributedMultiVector.from_global(g, rng.standard_normal((20, 3)), m, "C")
+        Z = mv_axpby(2.0, X, -0.5, Y)
+        np.testing.assert_allclose(Z.gather(0), 2 * X.gather(0) - 0.5 * Y.gather(0))
+
+    def test_layout_mismatch(self, rng):
+        g = make_grid(4)
+        from repro.distributed import BlockMap1D
+
+        X = DistributedMultiVector.zeros(g, BlockMap1D(20, 2), "C", 3, np.float64, False)
+        Y = DistributedMultiVector.zeros(g, BlockMap1D(20, 2), "B", 3, np.float64, False)
+        with pytest.raises(ValueError):
+            mv_axpby(1.0, X, 1.0, Y)

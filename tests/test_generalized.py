@@ -1,0 +1,89 @@
+"""Tests for the generalized eigenproblem pipeline (H x = lambda S x)."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro import ChaseConfig
+from repro.core.generalized import chase_generalized
+from repro.matrices import matrix_with_spectrum, uniform_matrix
+
+
+def make_pencil(rng, n=160, dtype=np.float64):
+    """A random Hermitian pencil (H, S) with S well-conditioned SPD."""
+    H = matrix_with_spectrum(np.linspace(-3, 3, n), rng, dtype=dtype)
+    B = rng.standard_normal((n, n))
+    if np.dtype(dtype).kind == "c":
+        B = B + 1j * rng.standard_normal((n, n))
+    S = B @ B.conj().T / n + np.eye(n)
+    S = (0.5 * (S + S.conj().T)).astype(dtype)
+    return H, S
+
+
+class TestGeneralized:
+    @pytest.mark.parametrize("explicit", [True, False])
+    def test_matches_scipy(self, rng, explicit):
+        H, S = make_pencil(rng)
+        res = chase_generalized(
+            H, S, ChaseConfig(nev=8, nex=6),
+            rng=np.random.default_rng(1), explicit_operator=explicit,
+        )
+        assert res.converged
+        ref = scipy.linalg.eigh(H, S, subset_by_index=(0, 7))[0]
+        np.testing.assert_allclose(res.eigenvalues, ref, atol=1e-8)
+
+    def test_pencil_residuals(self, rng):
+        H, S = make_pencil(rng)
+        res = chase_generalized(
+            H, S, ChaseConfig(nev=6, nex=4), rng=np.random.default_rng(2)
+        )
+        X, lam = res.eigenvectors, res.eigenvalues
+        R = H @ X - (S @ X) * lam[None, :]
+        assert np.abs(R).max() < 1e-7
+
+    def test_s_orthonormal_vectors(self, rng):
+        H, S = make_pencil(rng)
+        res = chase_generalized(
+            H, S, ChaseConfig(nev=6, nex=4), rng=np.random.default_rng(3)
+        )
+        G = res.eigenvectors.conj().T @ S @ res.eigenvectors
+        np.testing.assert_allclose(G, np.eye(6), atol=1e-8)
+
+    def test_complex_pencil(self, rng):
+        H, S = make_pencil(rng, n=100, dtype=np.complex128)
+        res = chase_generalized(
+            H, S, ChaseConfig(nev=5, nex=4), rng=np.random.default_rng(4)
+        )
+        assert res.converged
+        ref = scipy.linalg.eigh(H, S, subset_by_index=(0, 4))[0]
+        np.testing.assert_allclose(res.eigenvalues, ref, atol=1e-8)
+
+    def test_identity_overlap_reduces_to_standard(self, rng):
+        H = uniform_matrix(120, rng=rng)
+        res = chase_generalized(
+            H, np.eye(120), ChaseConfig(nev=5, nex=4),
+            rng=np.random.default_rng(5),
+        )
+        np.testing.assert_allclose(
+            res.eigenvalues, np.linalg.eigvalsh(H)[:5], atol=1e-8
+        )
+
+    def test_implicit_explicit_agree(self, rng):
+        H, S = make_pencil(rng, n=120)
+        a = chase_generalized(H, S, ChaseConfig(nev=5, nex=4),
+                              rng=np.random.default_rng(6),
+                              explicit_operator=True)
+        b = chase_generalized(H, S, ChaseConfig(nev=5, nex=4),
+                              rng=np.random.default_rng(6),
+                              explicit_operator=False)
+        np.testing.assert_allclose(a.eigenvalues, b.eigenvalues, atol=1e-8)
+
+    def test_validation(self, rng):
+        H = uniform_matrix(20, rng=rng)
+        with pytest.raises(ValueError):
+            chase_generalized(H, np.zeros((10, 10)), ChaseConfig(nev=2, nex=2))
+        with pytest.raises(ValueError):
+            chase_generalized(H, rng.standard_normal((20, 20)),
+                              ChaseConfig(nev=2, nex=2))
+        with pytest.raises(ValueError):  # indefinite S
+            chase_generalized(H, -np.eye(20), ChaseConfig(nev=2, nex=2))

@@ -1,0 +1,121 @@
+"""Tests for the custom distributed HEMM (layout-alternating H-apply)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import (
+    DistributedHemm,
+    DistributedHermitian,
+    DistributedMultiVector,
+)
+from tests.conftest import make_grid
+
+
+def setup(H, p=2, q=2, **kw):
+    g = make_grid(p * q, p=p, q=q, **kw)
+    Hd = DistributedHermitian.from_dense(g, H)
+    return g, Hd, DistributedHemm(Hd)
+
+
+class TestHemmCorrectness:
+    @pytest.mark.parametrize("p,q", [(1, 1), (2, 2), (2, 3), (3, 2), (1, 4)])
+    def test_c_to_b_matches_dense(self, rng, p, q):
+        A = rng.standard_normal((31, 31))
+        H = (A + A.T) / 2
+        V = rng.standard_normal((31, 5))
+        g, Hd, hemm = setup(H, p, q)
+        C = DistributedMultiVector.from_global(g, V, Hd.rowmap, "C")
+        out = hemm.apply(C)
+        assert out.layout == "B"
+        np.testing.assert_allclose(out.gather(0), H @ V, atol=1e-12)
+        assert out.replication_error() < 1e-14
+
+    @pytest.mark.parametrize("p,q", [(2, 2), (3, 2)])
+    def test_b_to_c_matches_dense(self, rng, p, q):
+        A = rng.standard_normal((30, 30))
+        H = (A + A.T) / 2
+        V = rng.standard_normal((30, 4))
+        g, Hd, hemm = setup(H, p, q)
+        B = DistributedMultiVector.from_global(g, V, Hd.colmap, "B")
+        out = hemm.apply(B)
+        assert out.layout == "C"
+        np.testing.assert_allclose(out.gather(0), H @ V, atol=1e-12)
+
+    def test_complex_hermitian(self, rng):
+        A = rng.standard_normal((24, 24)) + 1j * rng.standard_normal((24, 24))
+        H = (A + A.conj().T) / 2
+        V = rng.standard_normal((24, 3)) + 1j * rng.standard_normal((24, 3))
+        g, Hd, hemm = setup(H)
+        C = DistributedMultiVector.from_global(g, V, Hd.rowmap, "C")
+        np.testing.assert_allclose(hemm.apply(C).gather(0), H @ V, atol=1e-12)
+
+    def test_shift_and_scale(self, rng):
+        A = rng.standard_normal((20, 20))
+        H = (A + A.T) / 2
+        V = rng.standard_normal((20, 3))
+        g, Hd, hemm = setup(H)
+        C = DistributedMultiVector.from_global(g, V, Hd.rowmap, "C")
+        out = hemm.apply(C, alpha=-1.5, gamma=0.7)
+        ref = -1.5 * (H - 0.7 * np.eye(20)) @ V
+        np.testing.assert_allclose(out.gather(0), ref, atol=1e-12)
+
+    def test_column_slice(self, rng):
+        A = rng.standard_normal((20, 20))
+        H = (A + A.T) / 2
+        V = rng.standard_normal((20, 6))
+        g, Hd, hemm = setup(H)
+        C = DistributedMultiVector.from_global(g, V, Hd.rowmap, "C")
+        out = hemm.apply(C, slice(2, 5))
+        assert out.ne == 3
+        np.testing.assert_allclose(out.gather(0), H @ V[:, 2:5], atol=1e-12)
+
+    def test_matvec_counter(self, rng):
+        A = rng.standard_normal((20, 20))
+        H = (A + A.T) / 2
+        g, Hd, hemm = setup(H)
+        V = rng.standard_normal((20, 6))
+        C = DistributedMultiVector.from_global(g, V, Hd.rowmap, "C")
+        hemm.apply(C)
+        hemm.apply(C, slice(0, 2))
+        assert hemm.matvecs == 8
+
+    def test_empty_slice_rejected(self, rng):
+        A = rng.standard_normal((20, 20))
+        H = (A + A.T) / 2
+        g, Hd, hemm = setup(H)
+        C = DistributedMultiVector.from_global(
+            g, rng.standard_normal((20, 6)), Hd.rowmap, "C"
+        )
+        with pytest.raises(ValueError):
+            hemm.apply(C, slice(3, 3))
+
+    def test_phantom_shapes_and_cost(self):
+        g = make_grid(4)
+        Hd = DistributedHermitian.phantom(g, 1000, np.float64)
+        hemm = DistributedHemm(Hd)
+        C = DistributedMultiVector.zeros(g, Hd.rowmap, "C", 10, np.float64, True)
+        out = hemm.apply(C)
+        assert out.is_phantom
+        assert out.local(0, 0).shape == (500, 10)
+        assert g.cluster.makespan() > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(6, 30),
+        ne=st.integers(1, 5),
+        gamma=st.floats(-2, 2),
+        seed=st.integers(0, 1000),
+    )
+    def test_roundtrip_property(self, n, ne, gamma, seed):
+        """(H - g) applied C->B then B->C equals the dense (H - g)^2."""
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((n, n))
+        H = (A + A.T) / 2
+        V = rng.standard_normal((n, ne))
+        g2, Hd, hemm = setup(H, 2, 2)
+        C = DistributedMultiVector.from_global(g2, V, Hd.rowmap, "C")
+        mid = hemm.apply(C, gamma=gamma)
+        out = hemm.apply(mid, gamma=gamma)
+        S = H - gamma * np.eye(n)
+        np.testing.assert_allclose(out.gather(0), S @ (S @ V), atol=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for artifact persistence (repro.io) and the sequence solver."""
+
+import numpy as np
+import pytest
+
+from repro import ChaseConfig, ChaseSolver, ConvergenceTrace, chase_serial
+from repro.core.sequence import EigenSequenceSolver
+from repro.core.trace import IterationRecord
+from repro.distributed import DistributedHermitian
+from repro.io import load_result, load_trace, save_result, save_trace
+from repro.matrices import uniform_matrix
+from tests.conftest import make_grid
+
+
+class TestTraceIO:
+    def _trace(self):
+        tr = ConvergenceTrace()
+        tr.append(IterationRecord(
+            degrees=np.array([4, 8, 20]), locked_before=0, new_converged=1,
+            qr_variant="sCholeskyQR2", cond_est=3.5e9, matvecs=32,
+        ))
+        tr.append(IterationRecord(
+            degrees=np.array([6, 10]), locked_before=1, new_converged=2,
+            qr_variant="CholeskyQR2", cond_est=42.0, matvecs=16,
+        ))
+        return tr
+
+    def test_roundtrip(self, tmp_path):
+        tr = self._trace()
+        path = tmp_path / "trace.json"
+        save_trace(tr, path)
+        back = load_trace(path)
+        assert back.iterations == 2
+        assert back.total_matvecs == tr.total_matvecs
+        np.testing.assert_array_equal(back.records[0].degrees, [4, 8, 20])
+        assert back.records[0].qr_variant == "sCholeskyQR2"
+        assert back.records[1].locked_before == 1
+
+    def test_rejects_foreign_json(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_trace(p)
+
+    def test_recorded_trace_replays(self, tmp_path, rng):
+        """End-to-end: numeric solve -> save -> load -> phantom replay."""
+        H = uniform_matrix(160, rng=rng)
+        g = make_grid(4)
+        Hd = DistributedHermitian.from_dense(g, H)
+        cfg = ChaseConfig(nev=8, nex=6)
+        res = ChaseSolver(g, Hd, cfg).solve(rng=np.random.default_rng(1))
+        path = tmp_path / "run.json"
+        save_trace(res.trace, path)
+        replay = load_trace(path)
+        g2 = make_grid(4, phantom=True)
+        Hp = DistributedHermitian.phantom(g2, 160, np.float64)
+        r2 = ChaseSolver(g2, Hp, cfg).solve_phantom(replay)
+        assert r2.iterations == res.iterations
+        assert r2.makespan > 0
+
+
+class TestResultIO:
+    def test_roundtrip_numeric(self, tmp_path, rng):
+        H = uniform_matrix(150, rng=rng)
+        g = make_grid(4)
+        Hd = DistributedHermitian.from_dense(g, H)
+        res = ChaseSolver(g, Hd, ChaseConfig(nev=8, nex=6)).solve(
+            rng=np.random.default_rng(2), return_vectors=True
+        )
+        path = tmp_path / "res.npz"
+        save_result(res, path)
+        back = load_result(path)
+        assert back["converged"]
+        np.testing.assert_allclose(back["eigenvalues"], res.eigenvalues)
+        np.testing.assert_allclose(back["eigenvectors"], res.eigenvectors)
+        assert back["iterations"] == res.iterations
+        assert "Filter" in back["timings"]
+        assert back["timings"]["Filter"]["compute"] > 0
+
+    def test_roundtrip_phantom(self, tmp_path):
+        g = make_grid(4, phantom=True)
+        Hp = DistributedHermitian.phantom(g, 5000, np.float64)
+        res = ChaseSolver(g, Hp, ChaseConfig(nev=300, nex=100)).solve_phantom(
+            ConvergenceTrace.fixed(1, 400)
+        )
+        path = tmp_path / "ph.npz"
+        save_result(res, path)
+        back = load_result(path)
+        assert "eigenvalues" not in back
+        assert back["makespan"] > 0
+
+
+class TestEigenSequence:
+    def _sequence(self, rng, n=200, steps=3, scale=1e-3):
+        H = uniform_matrix(n, rng=rng)
+        seq = [H]
+        for k in range(1, steps):
+            P = rng.standard_normal((n, n)) * scale / 2**k
+            seq.append(seq[-1] + (P + P.T) / 2)
+        return seq
+
+    def test_all_steps_converge(self, rng):
+        solver = EigenSequenceSolver(
+            ChaseConfig(nev=10, nex=6), rng=np.random.default_rng(0)
+        )
+        for H in self._sequence(rng):
+            res = solver.solve_next(H)
+            assert res.converged
+        assert len(solver.steps) == 3
+        assert not solver.steps[0].warm_started
+        assert all(s.warm_started for s in solver.steps[1:])
+
+    def test_warm_start_saves_matvecs(self, rng):
+        seq = self._sequence(rng)
+        warm = EigenSequenceSolver(
+            ChaseConfig(nev=10, nex=6), rng=np.random.default_rng(0)
+        )
+        for H in seq:
+            warm.solve_next(H)
+        cold_total = 0
+        for H in seq:
+            r = chase_serial(
+                H, ChaseConfig(nev=10, nex=6), rng=np.random.default_rng(0)
+            )
+            cold_total += r.matvecs
+        assert warm.total_matvecs < cold_total
+
+    def test_eigenvalues_track_the_sequence(self, rng):
+        solver = EigenSequenceSolver(
+            ChaseConfig(nev=6, nex=4), rng=np.random.default_rng(1)
+        )
+        for H in self._sequence(rng, steps=2):
+            solver.solve_next(H)
+            ref = np.linalg.eigvalsh(H)[:6]
+            np.testing.assert_allclose(
+                solver.steps[-1].eigenvalues, ref, atol=1e-8
+            )
+
+    def test_dimension_change_rejected(self, rng):
+        solver = EigenSequenceSolver(
+            ChaseConfig(nev=4, nex=2), rng=np.random.default_rng(2)
+        )
+        solver.solve_next(uniform_matrix(60, rng=rng))
+        with pytest.raises(ValueError):
+            solver.solve_next(uniform_matrix(70, rng=rng))
+
+    def test_reset_goes_cold(self, rng):
+        solver = EigenSequenceSolver(
+            ChaseConfig(nev=4, nex=2), rng=np.random.default_rng(3)
+        )
+        H = uniform_matrix(60, rng=rng)
+        solver.solve_next(H)
+        solver.reset()
+        solver.solve_next(H)
+        assert not solver.steps[-1].warm_started

@@ -1,0 +1,83 @@
+"""Tests for the distributed Lanczos spectral-bound estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.lanczos import lanczos_bounds
+from repro.distributed import DistributedHemm, DistributedHermitian
+from repro.matrices import matrix_with_spectrum
+from tests.conftest import make_grid
+
+
+def bounds_for(H, ne=10, seed=5, **kw):
+    g = make_grid(4)
+    Hd = DistributedHermitian.from_dense(g, H)
+    return lanczos_bounds(
+        DistributedHemm(Hd), ne, rng=np.random.default_rng(seed), **kw
+    )
+
+
+class TestLanczosBounds:
+    def test_b_sup_upper_bounds_spectrum(self, rng):
+        lam = np.linspace(-3.0, 5.0, 120)
+        H = matrix_with_spectrum(lam, rng)
+        b = bounds_for(H)
+        assert b.b_sup >= lam[-1] - 1e-8
+
+    def test_mu1_lower_bounds_spectrum(self, rng):
+        lam = np.linspace(-3.0, 5.0, 120)
+        H = matrix_with_spectrum(lam, rng)
+        b = bounds_for(H)
+        assert b.mu1 <= lam[0] + 1e-8
+
+    def test_mu_ne_between_bounds(self, rng):
+        lam = np.linspace(0.0, 10.0, 150)
+        H = matrix_with_spectrum(lam, rng)
+        b = bounds_for(H, ne=15)
+        assert b.mu1 < b.mu_ne < b.b_sup
+
+    def test_mu_ne_tracks_quantile_uniform(self, rng):
+        """For a uniform spectrum the DoS quantile should land in the
+        right region (within a generous factor; it is an estimate)."""
+        N, ne = 200, 20
+        lam = np.linspace(0.0, 1.0, N)
+        H = matrix_with_spectrum(lam, rng)
+        b = bounds_for(H, ne=ne, steps=30, runs=6)
+        exact = lam[ne]
+        assert exact / 8 <= (b.mu_ne - lam[0]) <= exact * 8 + 0.2
+
+    def test_clustered_spectrum_safe(self, rng):
+        lam = np.concatenate([np.full(50, 1.0), np.full(50, 2.0)])
+        H = matrix_with_spectrum(lam, rng)
+        b = bounds_for(H, ne=5)
+        assert b.b_sup >= 2.0 - 1e-6
+        assert np.isfinite(b.mu_ne)
+
+    def test_complex_hermitian(self, rng):
+        lam = np.linspace(-1, 1, 80)
+        H = matrix_with_spectrum(lam, rng, dtype=np.complex128)
+        b = bounds_for(H)
+        assert b.b_sup >= 1.0 - 1e-8
+        assert b.mu1 <= -1.0 + 1e-8
+
+    def test_costs_charged(self, rng):
+        lam = np.linspace(-1, 1, 60)
+        H = matrix_with_spectrum(lam, rng)
+        g = make_grid(4)
+        Hd = DistributedHermitian.from_dense(g, H)
+        lanczos_bounds(DistributedHemm(Hd), 6, rng=np.random.default_rng(0))
+        assert g.cluster.makespan() > 0
+
+    def test_invalid_ne(self, rng):
+        lam = np.linspace(-1, 1, 30)
+        H = matrix_with_spectrum(lam, rng)
+        g = make_grid(4)
+        Hd = DistributedHermitian.from_dense(g, H)
+        with pytest.raises(ValueError):
+            lanczos_bounds(DistributedHemm(Hd), 0)
+
+    def test_tiny_matrix_step_clamp(self, rng):
+        lam = np.linspace(0, 1, 8)
+        H = matrix_with_spectrum(lam, rng)
+        b = bounds_for(H, ne=2, steps=100)
+        assert b.b_sup >= 1.0 - 1e-8

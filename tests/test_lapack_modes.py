@@ -1,0 +1,87 @@
+"""Tests for the xLATMS-style test-spectrum generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import latms_matrix, latms_spectrum
+
+
+class TestSpectra:
+    def test_mode1_cluster_low(self):
+        lam = latms_spectrum(10, 1, cond=100)
+        assert np.sum(np.isclose(lam, 0.01)) == 9
+        assert np.isclose(lam[-1], 1.0)
+
+    def test_mode2_cluster_high(self):
+        lam = latms_spectrum(10, 2, cond=100)
+        assert np.sum(np.isclose(lam, 1.0)) == 9
+        assert np.isclose(lam[0], 0.01)
+
+    def test_mode3_geometric(self):
+        lam = latms_spectrum(5, 3, cond=16.0)
+        ratios = lam[1:] / lam[:-1]
+        np.testing.assert_allclose(ratios, ratios[0])
+        assert lam[-1] / lam[0] == pytest.approx(16.0)
+
+    def test_mode4_arithmetic(self):
+        lam = latms_spectrum(5, 4, cond=10.0)
+        np.testing.assert_allclose(np.diff(lam), np.diff(lam)[0])
+
+    def test_mode5_random_range(self):
+        lam = latms_spectrum(200, 5, cond=1e4, rng=np.random.default_rng(0))
+        assert np.all((lam >= 1e-4 - 1e-12) & (lam <= 1.0 + 1e-12))
+
+    def test_signs(self):
+        rng = np.random.default_rng(1)
+        neg = latms_spectrum(10, 4, sign="negative")
+        assert np.all(neg < 0)
+        mixed = latms_spectrum(200, 5, sign="mixed", rng=rng)
+        assert np.any(mixed < 0) and np.any(mixed > 0)
+
+    def test_scale(self):
+        lam = latms_spectrum(5, 4, cond=10, scale=7.0)
+        assert lam[-1] == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latms_spectrum(5, 9)
+        with pytest.raises(ValueError):
+            latms_spectrum(5, 1, cond=0.5)
+        with pytest.raises(ValueError):
+            latms_spectrum(0, 1)
+        with pytest.raises(ValueError):
+            latms_spectrum(5, 1, sign="bogus")
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 100), mode=st.integers(1, 5),
+           logc=st.floats(0, 8), seed=st.integers(0, 50))
+    def test_property_condition_bounded(self, n, mode, logc, seed):
+        cond = 10.0 ** logc
+        lam = latms_spectrum(n, mode, cond, rng=np.random.default_rng(seed))
+        assert np.all(np.diff(lam) >= 0)
+        assert lam.max() / lam.min() <= cond * (1 + 1e-6)
+
+
+class TestMatrices:
+    def test_spectrum_realized(self, rng):
+        H, lam = latms_matrix(40, 3, cond=100, rng=rng)
+        np.testing.assert_allclose(np.linalg.eigvalsh(H), lam, atol=1e-10)
+
+    def test_chase_across_modes(self):
+        """ChASE converges on every LAPACK test-mode spectrum (negated so
+        the interesting cluster sits at the bottom)."""
+        from repro import ChaseConfig, chase_serial
+
+        for mode in (2, 3, 4, 5):
+            H, lam = latms_matrix(
+                150, mode, cond=1e4, sign="negative",
+                rng=np.random.default_rng(mode),
+            )
+            res = chase_serial(
+                H, ChaseConfig(nev=8, nex=6), rng=np.random.default_rng(9)
+            )
+            assert res.converged, f"mode {mode}"
+            np.testing.assert_allclose(
+                res.eigenvalues, lam[:8], atol=1e-7, err_msg=f"mode {mode}"
+            )

@@ -1,0 +1,123 @@
+"""Tests for the matrix generators and the Table 1 suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.matrices import (
+    TABLE1,
+    build_problem,
+    bse_spectrum,
+    dft_spectrum,
+    get_problem,
+    matrix_with_spectrum,
+    uniform_matrix,
+    uniform_spectrum,
+)
+
+
+class TestUniform:
+    def test_spectrum_exact(self, rng):
+        lam = uniform_spectrum(50, -2.0, 3.0)
+        H = matrix_with_spectrum(lam, rng)
+        np.testing.assert_allclose(np.linalg.eigvalsh(H), lam, atol=1e-10)
+
+    def test_symmetric_real(self, rng):
+        H = uniform_matrix(30, rng=rng)
+        assert H.dtype == np.float64
+        np.testing.assert_allclose(H, H.T)
+
+    def test_hermitian_complex(self, rng):
+        H = matrix_with_spectrum(uniform_spectrum(30), rng, dtype=np.complex128)
+        np.testing.assert_allclose(H, H.conj().T)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(H), uniform_spectrum(30), atol=1e-10
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_spectrum(0)
+        with pytest.raises(ValueError):
+            uniform_spectrum(5, 1.0, 1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 40), seed=st.integers(0, 50))
+    def test_spectrum_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        lam = np.sort(rng.standard_normal(n))
+        H = matrix_with_spectrum(lam, rng)
+        np.testing.assert_allclose(np.linalg.eigvalsh(H), lam, atol=1e-9)
+
+
+class TestApplicationSpectra:
+    def test_dft_shape(self):
+        lam = dft_spectrum(100)
+        assert lam.shape == (100,)
+        assert np.all(np.diff(lam) >= 0)
+        # core states strictly below the band bottom (-1), compressed in
+        # depth so that scaled filter-amplification ratios stay
+        # representative (see the generator's docstring)
+        assert lam[0] < -2
+        assert np.all(lam[:8] < -1.0)
+        assert lam[-1] > 30
+
+    def test_dft_core_below_band(self):
+        lam = dft_spectrum(100, n_core=5, valence_lo=-1.0)
+        assert np.all(lam[:5] < -1.0)
+
+    def test_bse_positive_with_excitons(self):
+        lam = bse_spectrum(100)
+        assert np.all(lam > 0)
+        assert np.all(np.diff(lam) >= 0)
+        # bound excitons below the absorption edge
+        assert lam[0] < 1.5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            dft_spectrum(5, n_core=8)
+        with pytest.raises(ValueError):
+            bse_spectrum(4, n_excitons=6)
+
+
+class TestSuite:
+    def test_registry_matches_paper(self):
+        assert len(TABLE1) == 6
+        p = get_problem("In2O3-115k")
+        assert (p.N, p.nev, p.nex) == (115_459, 100, 40)
+        assert get_problem("TiO2-29k").source == "FLEUR"
+        assert get_problem("HfO2-76k").source == "BSE UIUC"
+
+    def test_unknown_problem(self):
+        with pytest.raises(KeyError):
+            get_problem("nope")
+
+    def test_scaled_preserves_ratio_roughly(self):
+        p = get_problem("TiO2-29k").scaled(1000)
+        assert p.N == 1000
+        # full problem: nev/N ~ 8.7%
+        assert 0.05 < p.nev / p.N < 0.15
+        assert p.nex >= p.nev // 2
+
+    def test_scaled_noop_when_larger(self):
+        p = get_problem("NaCl-9k")
+        assert p.scaled(20_000) is p
+
+    def test_build_problem_matrix(self):
+        H, prob = build_problem("HfO2-76k", N_target=120)
+        assert H.shape == (120, 120)
+        assert np.iscomplexobj(H)
+        np.testing.assert_allclose(H, H.conj().T)
+        np.testing.assert_allclose(
+            np.linalg.eigvalsh(H), prob.spectrum(120), atol=1e-9
+        )
+
+    def test_build_problem_deterministic(self):
+        H1, _ = build_problem("NaCl-9k", N_target=60)
+        H2, _ = build_problem("NaCl-9k", N_target=60)
+        np.testing.assert_array_equal(H1, H2)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_all_problems_buildable(self, name):
+        H, prob = build_problem(name, N_target=80)
+        assert H.shape == (80, 80)
+        assert prob.nev + prob.nex <= 80

@@ -1,0 +1,65 @@
+"""Tests for matrix loading/saving."""
+
+import numpy as np
+import pytest
+
+from repro.matrices import as_hermitian, load_hermitian, save_hermitian, uniform_matrix
+
+
+class TestAsHermitian:
+    def test_symmetrizes_exactly(self, rng):
+        H = uniform_matrix(20, rng=rng)
+        H2 = as_hermitian(H + 1e-14 * rng.standard_normal((20, 20)))
+        np.testing.assert_allclose(H2, H2.T)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            as_hermitian(np.zeros((2, 3)))
+
+    def test_rejects_non_hermitian(self, rng):
+        with pytest.raises(ValueError):
+            as_hermitian(rng.standard_normal((10, 10)))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("suffix", [".mtx", ".npy", ".npz"])
+    def test_real(self, tmp_path, rng, suffix):
+        H = uniform_matrix(25, rng=rng)
+        p = tmp_path / f"h{suffix}"
+        save_hermitian(H, p)
+        back = load_hermitian(p)
+        np.testing.assert_allclose(back, H, atol=1e-12)
+
+    @pytest.mark.parametrize("suffix", [".mtx", ".npz"])
+    def test_complex(self, tmp_path, rng, suffix):
+        A = rng.standard_normal((20, 20)) + 1j * rng.standard_normal((20, 20))
+        H = (A + A.conj().T) / 2
+        p = tmp_path / f"h{suffix}"
+        save_hermitian(H, p)
+        np.testing.assert_allclose(load_hermitian(p), H, atol=1e-12)
+
+    def test_npz_requires_H_key(self, tmp_path):
+        p = tmp_path / "x.npz"
+        np.savez(p, other=np.eye(3))
+        with pytest.raises(KeyError):
+            load_hermitian(p)
+
+    def test_unsupported_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_hermitian(tmp_path / "h.csv")
+        with pytest.raises(ValueError):
+            save_hermitian(np.eye(3), tmp_path / "h.csv")
+
+    def test_loaded_matrix_solvable(self, tmp_path, rng):
+        """End-to-end: save -> load -> ChASE solve."""
+        from repro import ChaseConfig, chase_serial
+
+        H = uniform_matrix(120, rng=rng)
+        p = tmp_path / "h.npz"
+        save_hermitian(H, p)
+        res = chase_serial(load_hermitian(p), ChaseConfig(nev=6, nex=4),
+                           rng=np.random.default_rng(1))
+        assert res.converged
+        np.testing.assert_allclose(
+            res.eigenvalues, np.linalg.eigvalsh(H)[:6], atol=1e-9
+        )

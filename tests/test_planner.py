@@ -1,0 +1,85 @@
+"""Tests for the analytic convergence planner."""
+
+import numpy as np
+import pytest
+
+from repro import ChaseConfig, ChaseSolver, chase_serial
+from repro.core.planner import plan_convergence
+from repro.distributed import DistributedHermitian
+from repro.matrices import matrix_with_spectrum, uniform_matrix
+from tests.conftest import make_grid
+
+
+class TestPlannerStructure:
+    def test_basic_plan(self):
+        # estimates of the lowest ne eigenvalues of a much larger matrix
+        lam = np.linspace(-1, -0.5, 30)
+        cfg = ChaseConfig(nev=20, nex=10)
+        plan = plan_convergence(lam, b_sup=1.0, config=cfg)
+        assert 1 <= plan.iterations <= cfg.max_iter
+        assert plan.total_matvecs > 0
+        locked = 0
+        for rec in plan.records:
+            assert rec.locked_before == locked
+            assert np.all(rec.degrees % 2 == 0)
+            locked = rec.locked_after
+        assert locked >= cfg.nev
+
+    def test_validation(self):
+        cfg = ChaseConfig(nev=4, nex=2)
+        with pytest.raises(ValueError):
+            plan_convergence(np.linspace(0, 1, 4), 2.0, cfg)  # too few
+        with pytest.raises(ValueError):
+            plan_convergence(np.linspace(1, 0, 6), 2.0, cfg)  # descending
+        with pytest.raises(ValueError):
+            plan_convergence(np.linspace(0, 1, 6), 0.5, cfg)  # bad b_sup
+        with pytest.raises(ValueError):
+            plan_convergence(np.linspace(0, 1, 6), 2.0, cfg,
+                             initial_residual=0.0)
+
+    def test_warm_start_plans_fewer_matvecs(self):
+        # a shallow bottom slice of a wide spectrum: multiple iterations
+        lam = np.linspace(-1.0, -0.9, 60)
+        cfg = ChaseConfig(nev=30, nex=30)
+        cold = plan_convergence(lam, 1.0, cfg, initial_residual=1.0)
+        warm = plan_convergence(lam, 1.0, cfg, initial_residual=1e-6)
+        assert cold.iterations > 1
+        assert warm.total_matvecs < cold.total_matvecs
+
+    def test_harder_spectrum_plans_more_work(self):
+        cfg = ChaseConfig(nev=10, nex=10)
+        b_sup = 10.0  # wide unwanted spectrum above the estimates
+        # well separated: wanted far below the damped interval's edge
+        easy = np.concatenate([np.linspace(-10, -5, 10), np.linspace(0, 0.5, 10)])
+        # barely separated from the interval edge
+        hard = np.linspace(0.3, 0.5, 20)
+        p_easy = plan_convergence(easy, b_sup, cfg)
+        p_hard = plan_convergence(hard, b_sup, cfg)
+        assert p_easy.total_matvecs < p_hard.total_matvecs
+
+
+class TestPlannerAccuracy:
+    @pytest.mark.parametrize("spread", [2.0, 6.0])
+    def test_tracks_actual_solve(self, rng, spread):
+        """Planned iterations/MatVecs must land near a real solve's."""
+        N = 220
+        lam = np.linspace(-spread, spread, N)
+        H = matrix_with_spectrum(lam, rng)
+        cfg = ChaseConfig(nev=14, nex=8)
+        actual = chase_serial(H, cfg, rng=np.random.default_rng(3))
+        assert actual.converged
+        plan = plan_convergence(lam[: cfg.ne], lam[-1] + 1e-6, cfg)
+        assert abs(plan.iterations - actual.iterations) <= 3
+        assert plan.total_matvecs == pytest.approx(actual.matvecs, rel=0.8)
+
+    def test_plan_replayable_in_phantom_mode(self):
+        """The planner's trace drives a phantom run directly — the full
+        capacity-planning workflow."""
+        cfg = ChaseConfig(nev=300, nex=150)
+        lam = np.linspace(-1, 1, cfg.ne)
+        plan = plan_convergence(lam, 1.001, cfg)
+        g = make_grid(4, phantom=True)
+        Hp = DistributedHermitian.phantom(g, 40_000, np.float64)
+        res = ChaseSolver(g, Hp, cfg).solve_phantom(plan)
+        assert res.iterations == plan.iterations
+        assert res.makespan > 0

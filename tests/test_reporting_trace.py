@@ -1,0 +1,172 @@
+"""Tests for reporting helpers and convergence traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import ConvergenceTrace, IterationRecord
+from repro.reporting import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rows(self):
+        out = render_table(
+            ["Name", "N", "t (s)"],
+            [["NaCl", 9273, 0.43], ["AuAg", 13379, 10.92]],
+            title="Table 2",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table 2"
+        assert "Name" in lines[1] and "t (s)" in lines[1]
+        assert len(lines) == 5
+        assert "9,273" in out and "10.92" in out
+
+    def test_scientific_for_extremes(self):
+        out = render_table(["x"], [[1.5e-9], [3.2e7]])
+        assert "1.50e-09" in out
+        assert "3.20e+07" in out
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_columns_and_missing(self):
+        out = render_series(
+            "Fig 3a",
+            "nodes",
+            [1, 4],
+            {"NCCL": [2.3, 2.5], "LMS": [4.1, None]},
+        )
+        assert "# Fig 3a" in out
+        assert "--" in out  # the OOM point
+        assert "2.3" in out
+
+    def test_row_count(self):
+        out = render_series("f", "x", [1, 2, 3], {"y": [1.0, 2.0, 3.0]})
+        assert len(out.splitlines()) == 5
+
+
+class TestConvergenceTrace:
+    def test_fixed(self):
+        tr = ConvergenceTrace.fixed(3, 100, deg=20)
+        assert tr.iterations == 3
+        assert tr.total_matvecs == 3 * 100 * 20
+        assert tr.records[0].qr_variant == "CholeskyQR2"
+        assert tr.records[0].locked_after == 0
+
+    def test_record_locked_after(self):
+        r = IterationRecord(
+            degrees=np.array([2, 4]), locked_before=5, new_converged=2,
+            qr_variant="CholeskyQR2", cond_est=10.0,
+        )
+        assert r.locked_after == 7
+
+    def test_rescale_preserves_structure(self):
+        tr = ConvergenceTrace()
+        tr.append(
+            IterationRecord(
+                degrees=np.array([4, 8, 12, 16]), locked_before=0,
+                new_converged=2, qr_variant="sCholeskyQR2", cond_est=1e9,
+                matvecs=40,
+            )
+        )
+        out = tr.rescale_columns(8)
+        assert out.iterations == 1
+        rec = out.records[0]
+        assert rec.degrees.shape[0] == 8
+        assert np.all(rec.degrees % 2 == 0)
+        assert np.all(np.diff(rec.degrees) >= 0)
+        assert rec.qr_variant == "sCholeskyQR2"
+        assert int(rec.degrees.min()) >= 4
+        assert int(rec.degrees.max()) <= 16
+
+    def test_rescale_scales_locking(self):
+        tr = ConvergenceTrace()
+        tr.append(
+            IterationRecord(
+                degrees=np.full(10, 10), locked_before=0, new_converged=5,
+                qr_variant="CholeskyQR2", cond_est=1.0,
+            )
+        )
+        out = tr.rescale_columns(100)
+        assert out.records[0].new_converged == pytest.approx(50, abs=5)
+
+
+class TestRenderChart:
+    def _series(self):
+        xs = [1, 4, 16, 64]
+        return xs, {
+            "NCCL": [2.2, 2.8, 3.4, 3.5],
+            "STD": [5.5, 6.7, 8.4, 9.6],
+            "LMS": [6.0, 10.8, 19.2, None],
+        }
+
+    def test_renders_all_series(self):
+        from repro.reporting import render_chart
+
+        xs, series = self._series()
+        out = render_chart("weak scaling", xs, series)
+        assert "weak scaling" in out
+        assert "o=NCCL" in out and "x=STD" in out and "+=LMS" in out
+        body = "\n".join(out.splitlines()[1:-2])
+        assert "o" in body and "x" in body and "+" in body
+
+    def test_none_points_skipped(self):
+        from repro.reporting import render_chart
+
+        xs, series = self._series()
+        out = render_chart("t", xs, series)
+        # the LMS series has 3 markers, not 4
+        body = "".join(out.splitlines()[1:-2])
+        assert body.count("+") == 3
+
+    def test_log_scale_requires_positive(self):
+        from repro.reporting import render_chart
+
+        with pytest.raises(ValueError):
+            render_chart("t", [1, 2], {"a": [0.0, 1.0]})
+
+    def test_linear_scale_allows_zero(self):
+        from repro.reporting import render_chart
+
+        out = render_chart("t", [1, 2], {"a": [0.0, 1.0]},
+                           log_x=False, log_y=False)
+        assert "(no data)" not in out
+
+    def test_validation(self):
+        from repro.reporting import render_chart
+
+        with pytest.raises(ValueError):
+            render_chart("t", [1], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            render_chart("t", [1], {"a": [1.0]}, width=4)
+
+
+class TestRenderStackedBars:
+    def test_basic(self):
+        from repro.reporting import render_stacked_bars
+
+        rows = [
+            ("LMS/QR", {"compute": 18.0, "comm": 2.0, "datamove": 1.0}),
+            ("NCCL/QR", {"compute": 0.05, "comm": 0.01, "datamove": 0.0}),
+        ]
+        out = render_stacked_bars("fig2", rows)
+        lines = out.splitlines()
+        assert lines[0] == "fig2"
+        assert "LMS/QR" in lines[1] and "21" in lines[1]
+        assert "#=compute" in lines[-1]
+        # the dominant bar is visibly longer
+        assert lines[1].count("#") > 10 * max(lines[2].count("#"), 1) or \
+               lines[2].count("#") == 0
+
+    def test_empty(self):
+        from repro.reporting import render_stacked_bars
+
+        assert "(no data)" in render_stacked_bars("t", [])
+
+    def test_width_validation(self):
+        from repro.reporting import render_stacked_bars
+
+        with pytest.raises(ValueError):
+            render_stacked_bars("t", [("a", {"x": 1.0})], width=4)

@@ -1,0 +1,184 @@
+"""Unit tests for clocks, tracer, ranks, cluster and grid."""
+
+import pytest
+
+from repro.runtime import (
+    Clock,
+    CommBackend,
+    CostCategory,
+    Grid2D,
+    Tracer,
+    VirtualCluster,
+    squarest_grid,
+)
+
+
+class TestClock:
+    def test_advance(self):
+        c = Clock()
+        assert c.advance(1.5) == 1.5
+        assert c.now == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1.0)
+
+    def test_sync_forward_only(self):
+        c = Clock(5.0)
+        c.sync_to(3.0)
+        assert c.now == 5.0
+        c.sync_to(7.0)
+        assert c.now == 7.0
+
+    def test_reset(self):
+        c = Clock(5.0)
+        c.reset()
+        assert c.now == 0.0
+
+
+class TestTracer:
+    def test_phase_scoping(self):
+        t = Tracer()
+        with t.phase("Filter"):
+            t.add(0, CostCategory.COMPUTE, 1.0)
+            with t.phase("inner"):
+                t.add(0, CostCategory.COMM, 0.5)
+            t.add(0, CostCategory.COMPUTE, 1.0)
+        assert t.breakdown("Filter").compute == 2.0
+        assert t.breakdown("inner").comm == 0.5
+
+    def test_critical_rank_breakdown(self):
+        """The reported split is the slowest rank's, not the sum."""
+        t = Tracer()
+        with t.phase("QR"):
+            t.add(0, CostCategory.COMPUTE, 1.0)
+            t.add(1, CostCategory.COMPUTE, 3.0)
+            t.add(1, CostCategory.COMM, 0.5)
+        b = t.breakdown("QR")
+        assert b.compute == 3.0
+        assert b.comm == 0.5
+        assert b.total == 3.5
+
+    def test_unphased_charges_recorded(self):
+        t = Tracer()
+        t.add(0, CostCategory.DATAMOVE, 2.0)
+        assert t.total() == 2.0
+
+    def test_negative_charge_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            t.add(0, CostCategory.COMPUTE, -1.0)
+
+    def test_reset(self):
+        t = Tracer()
+        t.add(0, CostCategory.COMPUTE, 1.0)
+        t.reset()
+        assert t.total() == 0.0
+        assert t.phases() == []
+
+
+class TestCluster:
+    def test_rank_placement(self):
+        cl = VirtualCluster(8, ranks_per_node=4)
+        assert cl.n_nodes == 2
+        assert [r.node for r in cl.ranks] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_lms_configuration(self):
+        cl = VirtualCluster(2, ranks_per_node=1, gpus_per_rank=4)
+        assert cl.n_nodes == 2
+        # GEMM rate is scaled by the rank's 4 GPUs, factor rate is not
+        r = cl.ranks[0]
+        assert r.gpu_spec.gemm_rate == 4 * cl.machine.gpu.gemm_rate
+        assert r.gpu_spec.factor_rate == cl.machine.gpu.factor_rate
+
+    def test_makespan_and_reset(self):
+        cl = VirtualCluster(2)
+        cl.ranks[1].charge_compute(2.0)
+        assert cl.makespan() == 2.0
+        cl.reset_clocks()
+        assert cl.makespan() == 0.0
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(0)
+
+    def test_backend_default_kernel_set(self):
+        gpu_cl = VirtualCluster(1, backend=CommBackend.NCCL)
+        cpu_cl = VirtualCluster(1, backend=CommBackend.MPI_HOST)
+        assert gpu_cl.ranks[0].k is gpu_cl.ranks[0].gpu
+        assert cpu_cl.ranks[0].k is cpu_cl.ranks[0].cpu
+
+
+class TestGrid:
+    def test_squarest_grid(self):
+        assert squarest_grid(16) == (4, 4)
+        assert squarest_grid(12) == (3, 4)
+        assert squarest_grid(7) == (1, 7)
+        assert squarest_grid(1) == (1, 1)
+
+    def test_coords_row_major(self):
+        g = Grid2D(VirtualCluster(6), 2, 3)
+        assert g.rank_at(0, 0).rank_id == 0
+        assert g.rank_at(0, 2).rank_id == 2
+        assert g.rank_at(1, 0).rank_id == 3
+        assert g.rank_at(1, 0).coords == (1, 0)
+
+    def test_communicator_membership(self):
+        g = Grid2D(VirtualCluster(6), 2, 3)
+        assert [r.rank_id for r in g.row_comm(1).ranks] == [3, 4, 5]
+        assert [r.rank_id for r in g.col_comm(2).ranks] == [2, 5]
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            Grid2D(VirtualCluster(6), 4, 2)
+        with pytest.raises(ValueError):
+            Grid2D(VirtualCluster(7), q=2)
+
+    def test_auto_square(self):
+        g = Grid2D(VirtualCluster(9))
+        assert (g.p, g.q) == (3, 3)
+        assert g.is_square
+
+    def test_spans_nodes(self):
+        g = Grid2D(VirtualCluster(4, ranks_per_node=4), 2, 2)
+        assert not g.row_comm(0).spans_nodes
+        g2 = Grid2D(VirtualCluster(4, ranks_per_node=2), 2, 2)
+        assert g2.col_comm(0).spans_nodes  # ranks 0 and 2 on nodes 0, 1
+
+    def test_backend_consistency_enforced(self):
+        from repro.runtime import Communicator
+
+        a = VirtualCluster(1, backend=CommBackend.NCCL).ranks[0]
+        b = VirtualCluster(1, backend=CommBackend.MPI_HOST).ranks[0]
+        with pytest.raises(ValueError):
+            Communicator([a, b])
+
+
+class TestPlacement:
+    def test_block_placement_default(self):
+        cl = VirtualCluster(8, ranks_per_node=4)
+        assert [r.node for r in cl.ranks] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_round_robin_placement(self):
+        cl = VirtualCluster(8, ranks_per_node=4, placement="round_robin")
+        assert [r.node for r in cl.ranks] == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_placement_changes_comm_topology(self):
+        # 2x2 grid, 2 ranks/node: block -> rows intra-node; round_robin
+        # -> columns intra-node
+        blk = Grid2D(VirtualCluster(4, ranks_per_node=2), 2, 2)
+        rr = Grid2D(
+            VirtualCluster(4, ranks_per_node=2, placement="round_robin"), 2, 2
+        )
+        assert not blk.row_comm(0).spans_nodes
+        assert blk.col_comm(0).spans_nodes
+        assert rr.row_comm(0).spans_nodes
+        assert not rr.col_comm(0).spans_nodes
+
+    def test_bad_placement_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(4, placement="bogus")
+
+    def test_straggler_attribute_default(self):
+        cl = VirtualCluster(2)
+        assert all(r.slowdown == 1.0 for r in cl.ranks)

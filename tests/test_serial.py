@@ -1,0 +1,118 @@
+"""Tests for the serial ChASE oracle."""
+
+import numpy as np
+import pytest
+
+from repro import ChaseConfig, chase_serial
+from repro.matrices import build_problem, matrix_with_spectrum, uniform_matrix
+
+
+def check_eigenpairs(H, res, nev, tol=1e-8):
+    w_true = np.linalg.eigvalsh(H)[:nev]
+    np.testing.assert_allclose(res.eigenvalues, w_true, atol=tol)
+    V = res.eigenvectors
+    # residuals and orthonormality
+    R = H @ V - V * res.eigenvalues[None, :]
+    assert np.linalg.norm(R, axis=0).max() < 1e-7 * max(1, np.abs(w_true).max())
+    assert np.abs(V.conj().T @ V - np.eye(nev)).max() < 1e-8
+
+
+class TestSerialSolver:
+    def test_uniform_real(self, rng):
+        H = uniform_matrix(250, rng=rng)
+        res = chase_serial(H, ChaseConfig(nev=15, nex=10), rng=rng)
+        assert res.converged
+        check_eigenpairs(H, res, 15)
+
+    def test_complex_hermitian(self, rng):
+        lam = np.linspace(-4, 4, 200)
+        H = matrix_with_spectrum(lam, rng, dtype=np.complex128)
+        res = chase_serial(H, ChaseConfig(nev=12, nex=8), rng=rng)
+        assert res.converged
+        check_eigenpairs(H, res, 12)
+
+    def test_no_degree_optimization(self, rng):
+        H = uniform_matrix(200, rng=rng)
+        res = chase_serial(H, ChaseConfig(nev=10, nex=8, opt=False), rng=rng)
+        assert res.converged
+        check_eigenpairs(H, res, 10)
+
+    def test_opt_uses_fewer_matvecs(self, rng):
+        """The headline claim of degree optimization: fewer MatVecs."""
+        H = uniform_matrix(220, rng=rng)
+        r_opt = chase_serial(H, ChaseConfig(nev=12, nex=8, opt=True),
+                             rng=np.random.default_rng(3))
+        r_no = chase_serial(H, ChaseConfig(nev=12, nex=8, opt=False, deg=20),
+                            rng=np.random.default_rng(3))
+        assert r_opt.converged and r_no.converged
+        assert r_opt.matvecs < r_no.matvecs
+
+    def test_warm_start_converges_faster(self, rng):
+        """The DFT motivation (paper Sec. 1): approximate solutions from a
+        previous problem in the sequence accelerate convergence."""
+        H = uniform_matrix(220, rng=rng)
+        cfg = ChaseConfig(nev=12, nex=8)
+        cold = chase_serial(H, cfg, rng=np.random.default_rng(0))
+        # perturb H slightly, reuse the converged basis
+        P = uniform_matrix(220, lo=-1e-3, hi=1e-3, rng=rng)
+        H2 = H + (P + P.T) / 2
+        V0 = np.concatenate(
+            [cold.eigenvectors, np.linalg.qr(rng.standard_normal((220, 8)))[0]],
+            axis=1,
+        )
+        warm = chase_serial(H2, cfg, V0=V0, rng=np.random.default_rng(0))
+        cold2 = chase_serial(H2, cfg, rng=np.random.default_rng(0))
+        assert warm.converged
+        assert warm.matvecs < cold2.matvecs
+
+    def test_clustered_spectrum(self, rng):
+        lam = np.concatenate([np.linspace(0, 0.1, 20), np.linspace(5, 10, 180)])
+        H = matrix_with_spectrum(lam, rng)
+        res = chase_serial(H, ChaseConfig(nev=20, nex=10), rng=rng)
+        assert res.converged
+        check_eigenpairs(H, res, 20)
+
+    def test_application_problem_dft(self):
+        H, prob = build_problem("NaCl-9k", N_target=240)
+        res = chase_serial(
+            H, ChaseConfig(nev=prob.nev, nex=prob.nex),
+            rng=np.random.default_rng(11),
+        )
+        assert res.converged
+        check_eigenpairs(H, res, prob.nev, tol=1e-6)
+
+    def test_application_problem_bse(self):
+        H, prob = build_problem("In2O3-76k", N_target=240)
+        res = chase_serial(
+            H, ChaseConfig(nev=prob.nev, nex=prob.nex),
+            rng=np.random.default_rng(11),
+        )
+        assert res.converged
+        check_eigenpairs(H, res, prob.nev, tol=1e-6)
+
+    def test_reports_qr_variants_and_conds(self, rng):
+        H = uniform_matrix(150, rng=rng)
+        res = chase_serial(H, ChaseConfig(nev=8, nex=6), rng=rng)
+        assert len(res.qr_variants) == res.iterations
+        assert len(res.cond_estimates) == res.iterations
+        assert all(c >= 1 for c in res.cond_estimates)
+
+    def test_subspace_too_large_rejected(self, rng):
+        H = uniform_matrix(20, rng=rng)
+        with pytest.raises(ValueError):
+            chase_serial(H, ChaseConfig(nev=15, nex=10), rng=rng)
+
+    def test_max_iter_cap(self, rng):
+        H = uniform_matrix(150, rng=rng)
+        res = chase_serial(
+            H, ChaseConfig(nev=10, nex=5, max_iter=1, tol=1e-14), rng=rng
+        )
+        assert res.iterations == 1
+        assert not res.converged
+
+    def test_deterministic_given_rng(self):
+        H = uniform_matrix(100, rng=np.random.default_rng(1))
+        r1 = chase_serial(H, ChaseConfig(nev=6, nex=4), rng=np.random.default_rng(2))
+        r2 = chase_serial(H, ChaseConfig(nev=6, nex=4), rng=np.random.default_rng(2))
+        np.testing.assert_array_equal(r1.eigenvalues, r2.eigenvalues)
+        assert r1.matvecs == r2.matvecs

@@ -1,0 +1,197 @@
+"""Tests for the thread-based SPMD runtime facet."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.spmd import run_spmd
+
+
+class TestCollectives:
+    def test_allreduce_scalars(self):
+        out = run_spmd(4, lambda ctx: ctx.allreduce(ctx.rank + 1))
+        assert out == [10, 10, 10, 10]
+
+    def test_allreduce_arrays(self):
+        def prog(ctx):
+            return ctx.allreduce(np.full(3, float(ctx.rank)))
+
+        out = run_spmd(3, prog)
+        for o in out:
+            np.testing.assert_allclose(o, 3.0)  # 0+1+2
+
+    def test_bcast(self):
+        def prog(ctx):
+            return ctx.bcast(np.arange(4) if ctx.rank == 1 else None, root=1)
+
+        out = run_spmd(3, prog)
+        for o in out:
+            np.testing.assert_array_equal(o, np.arange(4))
+
+    def test_allgather(self):
+        out = run_spmd(4, lambda ctx: ctx.allgather(ctx.rank * 2))
+        assert all(o == [0, 2, 4, 6] for o in out)
+
+    def test_repeated_collectives(self):
+        """Barrier reuse across many rounds must not deadlock or corrupt."""
+        def prog(ctx):
+            acc = 0
+            for k in range(50):
+                acc = ctx.allreduce(acc + ctx.rank + k)
+            return acc
+
+        out = run_spmd(4, prog)
+        assert len(set(out)) == 1  # all ranks agree
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda ctx: ctx.allreduce(5)) == [5]
+
+    def test_error_propagates(self):
+        def prog(ctx):
+            if ctx.rank == 2:
+                raise ValueError("boom")
+            ctx.barrier()
+            return 0
+
+        with pytest.raises(RuntimeError, match="rank 2"):
+            run_spmd(4, prog)
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda ctx: None)
+
+
+class TestSpmdCholeskyQR:
+    def test_matches_orchestrated(self, rng):
+        """A genuinely concurrent 1D CholeskyQR2 on row blocks must give
+        the same Q factor as the orchestrated distributed kernel."""
+        m, n, p = 120, 8, 4
+        V = rng.standard_normal((m, n))
+        blocks = np.array_split(V, p, axis=0)
+
+        def program(ctx):
+            X = blocks[ctx.rank].copy()
+            for _rep in range(2):  # CholeskyQR2
+                G = ctx.allreduce(X.T @ X)
+                R = np.linalg.cholesky(0.5 * (G + G.T)).T
+                X = np.linalg.solve(R.T, X.T).T
+            return X
+
+        out = run_spmd(p, program)
+        Q = np.concatenate(out, axis=0)
+        np.testing.assert_allclose(Q.T @ Q, np.eye(n), atol=1e-12)
+
+        # cross-check against the orchestrated kernel
+        from repro.core.qr import QRReport, cholesky_qr
+        from repro.distributed import BlockMap1D, DistributedMultiVector
+        from tests.conftest import make_grid
+
+        g = make_grid(4, p=4, q=1)
+        C = DistributedMultiVector.from_global(g, V, BlockMap1D(m, 4), "C")
+        cholesky_qr(g, C, 2, QRReport())
+        np.testing.assert_allclose(C.gather(0), Q, atol=1e-10)
+
+    def test_concurrent_power_iteration(self, rng):
+        """A small SPMD power iteration: dominant eigenvalue of a PSD
+        matrix computed with row-distributed matvecs."""
+        N, p = 60, 3
+        A = rng.standard_normal((N, N))
+        H = A @ A.T
+        rows = np.array_split(np.arange(N), p)
+
+        def program(ctx):
+            x = np.ones(N) / np.sqrt(N)
+            lam = 0.0
+            for _ in range(200):
+                local = H[rows[ctx.rank]] @ x
+                parts = ctx.allgather(local)
+                y = np.concatenate(parts)
+                lam = float(x @ y)
+                x = y / np.linalg.norm(y)
+            return lam
+
+        out = run_spmd(p, program)
+        ref = np.linalg.eigvalsh(H)[-1]
+        for lam in out:
+            assert lam == pytest.approx(ref, rel=1e-6)
+
+
+class TestSpmdChase:
+    def test_full_spmd_chase_iteration_matches_orchestrated(self, rng):
+        """A complete ChASE iteration (filter + CholeskyQR2 + Rayleigh-
+        Ritz + residuals) written as a genuinely concurrent SPMD program
+        over row blocks must reproduce the orchestrated solver's Ritz
+        values from the same starting basis — the strongest fidelity
+        check the thread runtime can give."""
+        from repro.core.spectra import interval_params
+        from repro.matrices import uniform_matrix
+
+        N, ne, p, deg = 120, 12, 4, 10
+        H = uniform_matrix(N, rng=rng)
+        V0 = np.random.default_rng(5).standard_normal((N, ne))
+        w = np.linalg.eigvalsh(H)
+        b_sup, mu1, mu_ne = w[-1] + 1e-6, w[0], w[ne]
+        c, e = interval_params(b_sup, mu_ne)
+        rows = np.array_split(np.arange(N), p)
+
+        def program(ctx):
+            mine = rows[ctx.rank]
+            Hrow = H[mine]          # this rank's block rows
+            X = V0[mine].copy()
+
+            def matmul(Y_local):
+                # row-distributed H @ Y: allgather the vector blocks
+                parts = ctx.allgather(Y_local)
+                Yfull = np.concatenate(parts)
+                return Hrow @ Yfull, Yfull
+
+            # scaled Chebyshev filter (uniform degree)
+            sigma1 = e / (mu1 - c)
+            sigma = sigma1
+            HX, Xfull = matmul(X)
+            Xprev, X = X, (sigma1 / e) * (HX - c * X)
+            for _t in range(2, deg + 1):
+                sigma_new = 1.0 / (2.0 / sigma1 - sigma)
+                HX, _ = matmul(X)
+                Xnext = (2 * sigma_new / e) * (HX - c * X) - sigma * sigma_new * Xprev
+                sigma, Xprev, X = sigma_new, X, Xnext
+
+            # CholeskyQR2
+            for _rep in range(2):
+                G = ctx.allreduce(X.T @ X)
+                R = np.linalg.cholesky(0.5 * (G + G.T)).T
+                X = np.linalg.solve(R.T, X.T).T
+
+            # Rayleigh-Ritz + residuals
+            HX, Xfull = matmul(X)
+            A = ctx.allreduce(X.T @ HX)
+            lam, Y = np.linalg.eigh(0.5 * (A + A.T))
+            X = X @ Y
+            HX, _ = matmul(X)
+            rnorm2 = ctx.allreduce(
+                np.einsum("ij,ij->j", HX - X * lam[None, :],
+                          HX - X * lam[None, :])
+            )
+            return lam, np.sqrt(rnorm2)
+
+        out = run_spmd(p, program)
+        lam_spmd, res_spmd = out[0]
+        for lam_k, res_k in out[1:]:
+            np.testing.assert_allclose(lam_k, lam_spmd, atol=1e-12)
+
+        # reference: the same pipeline on global arrays with identical
+        # bounds (the serial filter is itself cross-checked against the
+        # orchestrated distributed solver elsewhere in the suite)
+        from repro.core.serial import _filter_serial
+
+        F, _ = _filter_serial(
+            H, V0.copy(), np.full(ne, deg, dtype=np.int64), c, e, mu1
+        )
+        Q, _ = np.linalg.qr(F)
+        A_ref = Q.T @ H @ Q
+        lam_ref = np.linalg.eigvalsh(0.5 * (A_ref + A_ref.T))
+        np.testing.assert_allclose(lam_spmd, lam_ref, atol=1e-8)
+        # after one filter pass the best-converged pair leads clearly and
+        # the extras trail (exact thresholds depend on the spectrum)
+        assert res_spmd.min() < 0.05
+        assert res_spmd.min() < res_spmd.max() / 10
+        assert np.all(res_spmd >= 0)

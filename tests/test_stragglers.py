@@ -1,0 +1,79 @@
+"""Straggler (load-imbalance) simulation tests.
+
+A single slow rank delays every collective it participates in — the
+barrier semantics of the simulated communicators turn one rank's
+slowdown into a whole-run slowdown, exactly as on a real machine.  This
+is a fidelity check of the runtime's parallel-time model and a tool for
+load-imbalance studies.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ChaseConfig, ChaseSolver, ConvergenceTrace
+from repro.distributed import DistributedHermitian
+from repro.matrices import uniform_matrix
+from repro.runtime import CommBackend, CostCategory
+from tests.conftest import make_grid
+
+
+def _phantom_run(slowdowns: dict[int, float] | None = None):
+    g = make_grid(4, phantom=True)
+    for rid, f in (slowdowns or {}).items():
+        g.cluster.ranks[rid].slowdown = f
+    Hd = DistributedHermitian.phantom(g, 20_000, np.float64)
+    s = ChaseSolver(g, Hd, ChaseConfig(nev=800, nex=200, deg=20))
+    res = s.solve_phantom(ConvergenceTrace.fixed(1, 1000, deg=20))
+    return res, g
+
+
+class TestStragglers:
+    def test_nominal_vs_straggler_makespan(self):
+        base, _ = _phantom_run()
+        slow, _ = _phantom_run({2: 2.0})
+        # compute dominates this workload: one 2x rank nearly doubles the run
+        assert slow.makespan > base.makespan * 1.5
+
+    def test_straggler_delay_propagates_to_all_ranks(self):
+        _res, g = _phantom_run({0: 3.0})
+        clocks = [r.clock.now for r in g.ranks]
+        # every rank finishes at (nearly) the straggler's pace: the fast
+        # ranks are barrier-coupled to it through the filter allreduces
+        assert max(clocks) / min(clocks) < 1.05
+
+    def test_fast_ranks_accumulate_idle_not_compute(self):
+        _res, g = _phantom_run({0: 3.0})
+        tr = g.cluster.tracer
+        def compute_of(rid):
+            return sum(
+                tr.rank_total(rid, ph, CostCategory.COMPUTE)
+                for ph in tr.phases()
+            )
+        # the straggler's charged compute is ~3x the others'
+        assert compute_of(0) > 2.5 * compute_of(1)
+        # but its wall clock matches (the others wait at the barriers)
+        assert g.cluster.ranks[0].clock.now == pytest.approx(
+            g.cluster.ranks[1].clock.now, rel=0.05
+        )
+
+    def test_numeric_results_unaffected(self, rng):
+        """Slowdown changes time, never values."""
+        H = uniform_matrix(120, rng=rng)
+        cfg = ChaseConfig(nev=6, nex=4)
+        V0 = np.random.default_rng(8).standard_normal((120, 10))
+        g1 = make_grid(4)
+        r1 = ChaseSolver(
+            g1, DistributedHermitian.from_dense(g1, H), cfg
+        ).solve(V0=V0, rng=np.random.default_rng(1))
+        g2 = make_grid(4)
+        g2.cluster.ranks[3].slowdown = 4.0
+        r2 = ChaseSolver(
+            g2, DistributedHermitian.from_dense(g2, H), cfg
+        ).solve(V0=V0, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(r1.eigenvalues, r2.eigenvalues)
+        assert r2.makespan > r1.makespan
+
+    def test_mild_slowdown_mild_impact(self):
+        base, _ = _phantom_run()
+        slow, _ = _phantom_run({1: 1.1})
+        assert slow.makespan < base.makespan * 1.25

@@ -1,0 +1,131 @@
+"""Tests for the event timeline and the local machine calibration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import ChaseConfig, ChaseSolver
+from repro.distributed import DistributedHermitian
+from repro.matrices import uniform_matrix
+from repro.perfmodel.calibrate import (
+    calibrate_local_machine,
+    measure_bandwidth,
+    measure_rate,
+)
+from repro.runtime import CostCategory, VirtualCluster
+from repro.runtime.timeline import Timeline, TimelineEvent
+from tests.conftest import make_grid
+
+
+class TestTimeline:
+    def _solve_with_timeline(self, rng):
+        H = uniform_matrix(120, rng=rng)
+        g = make_grid(4)
+        tl = Timeline.attach(g.cluster)
+        Hd = DistributedHermitian.from_dense(g, H)
+        res = ChaseSolver(g, Hd, ChaseConfig(nev=6, nex=4)).solve(
+            rng=np.random.default_rng(1)
+        )
+        return tl, res, g
+
+    def test_events_recorded(self, rng):
+        tl, res, _g = self._solve_with_timeline(rng)
+        assert len(tl.events) > 100
+        phases = {e.phase for e in tl.events}
+        assert {"Filter", "QR", "RR"} <= phases
+        cats = {e.category for e in tl.events}
+        assert CostCategory.COMPUTE in cats and CostCategory.COMM in cats
+
+    def test_events_cover_makespan(self, rng):
+        tl, res, _g = self._solve_with_timeline(rng)
+        lo, hi = tl.span()
+        assert lo >= 0.0
+        assert hi == pytest.approx(res.makespan, rel=1e-9)
+
+    def test_event_durations_consistent(self, rng):
+        tl, _res, _g = self._solve_with_timeline(rng)
+        for e in tl.events[:200]:
+            assert e.end >= e.start
+            assert e.duration >= 0
+
+    def test_busy_fraction_in_unit_interval(self, rng):
+        tl, _res, g = self._solve_with_timeline(rng)
+        for rank in g.ranks:
+            f = tl.busy_fraction(rank.rank_id)
+            assert 0.0 < f <= 1.0
+
+    def test_render_gantt(self, rng):
+        tl, _res, _g = self._solve_with_timeline(rng)
+        out = tl.render(width=60)
+        lines = out.splitlines()
+        assert len(lines) == 5  # header + 4 ranks
+        assert all(line.startswith("rank") for line in lines[1:])
+        body = "".join(lines[1:])
+        assert "#" in body and "~" in body
+
+    def test_render_width_validation(self):
+        with pytest.raises(ValueError):
+            Timeline().render(width=5)
+
+    def test_chrome_trace_valid_json(self, rng):
+        tl, _res, _g = self._solve_with_timeline(rng)
+        payload = json.loads(tl.to_chrome_trace())
+        assert len(payload) == len(tl.events)
+        assert all(ev["ph"] == "X" for ev in payload[:10])
+
+    def test_detach_restores(self):
+        cl = VirtualCluster(2)
+        tl = Timeline.attach(cl)
+        cl.ranks[0].charge_compute(1.0)
+        assert len(tl.events) == 1
+        tl.detach()
+        cl.ranks[0].charge_compute(1.0)
+        assert len(tl.events) == 1  # no longer recording
+
+    def test_empty_timeline(self):
+        tl = Timeline()
+        assert tl.span() == (0.0, 0.0)
+        assert "0.000000 s" in tl.render()
+
+
+class TestCalibration:
+    def test_measure_rates_positive(self):
+        for kind in ("gemm", "syrk", "potrf", "geqrf"):
+            rate = measure_rate(kind, n=128, repeats=1)
+            assert rate > 1e7  # anything slower is not a working BLAS
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            measure_rate("fft")
+
+    def test_bandwidth_positive(self):
+        assert measure_bandwidth(nbytes=8 * 1024 * 1024, repeats=1) > 1e8
+
+    def test_calibrated_machine_usable(self):
+        m = calibrate_local_machine(n=128)
+        assert m.gpus_per_node == 1
+        assert m.gpu.gemm_rate > m.gpu.factor_rate / 100
+        # the calibrated model plugs into the simulated runtime
+        cl = VirtualCluster(1, machine=m)
+        cl.ranks[0].gpu.gemm(np.eye(8), np.eye(8))
+        assert cl.makespan() > 0
+
+    def test_prediction_tracks_reality(self, rng):
+        """Modeled GEMM time from the calibrated spec must be within an
+        order of magnitude of a measured GEMM (it is the same kernel the
+        calibration timed, at a different size)."""
+        import time
+
+        m = calibrate_local_machine(n=256)
+        n = 400
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        A @ B  # warm-up
+        t0 = time.perf_counter()
+        A @ B
+        measured = time.perf_counter() - t0
+        from repro.perfmodel import KernelTimeModel, gemm_flops
+
+        predicted = KernelTimeModel(m.gpu).time("gemm", gemm_flops(n, n, n))
+        assert predicted == pytest.approx(measured, rel=9.0)

@@ -1,0 +1,96 @@
+"""Tests for a-posteriori solution verification (inertia counting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ChaseConfig, chase_serial
+from repro.core.verify import (
+    VerificationReport,
+    count_eigenvalues_below,
+    verify_solution,
+)
+from repro.matrices import matrix_with_spectrum, uniform_matrix
+
+
+class TestInertiaCounting:
+    def test_matches_direct_count(self, rng):
+        lam = np.sort(rng.uniform(-3, 3, 60))
+        H = matrix_with_spectrum(lam, rng)
+        for sigma in (-2.0, 0.0, 1.5, 4.0):
+            assert count_eigenvalues_below(H, sigma) == int(np.sum(lam < sigma))
+
+    def test_complex_hermitian(self, rng):
+        lam = np.linspace(-1, 1, 40)
+        H = matrix_with_spectrum(lam, rng, dtype=np.complex128)
+        assert count_eigenvalues_below(H, 0.0) == 20
+
+    def test_below_spectrum_is_zero(self, rng):
+        H = uniform_matrix(30, rng=rng)
+        assert count_eigenvalues_below(H, -2.0) == 0
+        assert count_eigenvalues_below(H, 2.0) == 30
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            count_eigenvalues_below(np.zeros((2, 3)), 0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(5, 50), seed=st.integers(0, 100),
+           q=st.floats(0.1, 0.9))
+    def test_property_inertia(self, n, seed, q):
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((n, n))
+        H = (A + A.T) / 2
+        lam = np.linalg.eigvalsh(H)
+        sigma = float(np.quantile(lam, q)) + 1e-9
+        assert count_eigenvalues_below(H, sigma) == int(np.sum(lam < sigma))
+
+
+class TestVerifySolution:
+    def test_correct_solution_verifies(self, rng):
+        H = uniform_matrix(150, rng=rng)
+        res = chase_serial(H, ChaseConfig(nev=10, nex=6),
+                           rng=np.random.default_rng(1))
+        assert res.converged
+        rep = verify_solution(H, res.eigenvalues, res.eigenvectors)
+        assert rep.ok
+        assert rep.complete
+        assert rep.missed == 0
+        assert rep.max_residual < 1e-7
+
+    def test_detects_missing_eigenvalue(self, rng):
+        """Drop one of the true lowest pairs and replace it with the
+        (nev+1)-th — the exact failure mode subspace iteration can hit
+        on clustered spectra.  Inertia counting must flag it."""
+        H = uniform_matrix(80, rng=rng)
+        w, V = np.linalg.eigh(H)
+        nev = 8
+        # skip index 4, append index nev instead
+        idx = [0, 1, 2, 3, 5, 6, 7, 8]
+        rep = verify_solution(H, w[idx], V[:, idx])
+        assert not rep.complete
+        assert rep.missed == 1
+
+    def test_detects_bad_residual(self, rng):
+        H = uniform_matrix(60, rng=rng)
+        w, V = np.linalg.eigh(H)
+        V_bad = V[:, :5].copy()
+        V_bad[:, 0] = np.roll(V_bad[:, 0], 1)  # wreck one vector
+        rep = verify_solution(H, w[:5], V_bad)
+        assert rep.max_residual > 1e-3
+        assert not rep.ok
+
+    def test_detects_unsorted(self, rng):
+        H = uniform_matrix(40, rng=rng)
+        w, V = np.linalg.eigh(H)
+        idx = [1, 0, 2, 3]
+        rep = verify_solution(H, w[idx], V[:, idx])
+        assert not rep.eigenvalues_ascending
+
+    def test_validation(self, rng):
+        H = uniform_matrix(20, rng=rng)
+        w, V = np.linalg.eigh(H)
+        with pytest.raises(ValueError):
+            verify_solution(H, w[:3], V[:, :4])
+        with pytest.raises(ValueError):
+            verify_solution(H, w[:3], V[:, :3], gap_fraction=0.0)
