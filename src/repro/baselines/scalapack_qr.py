@@ -97,6 +97,10 @@ def hhqr_1d(grid: Grid2D, C: DistributedMultiVector, nb: int = PANEL_NB) -> None
         Q, _ = np.linalg.qr(V)
         for i in range(grid.p):
             rows = global_indices(C.index_map, i)
-            blk = np.ascontiguousarray(Q[rows, :])
-            for j in range(grid.q):
-                C.blocks[(i, j)][...] = blk
+            blk = Q[rows, :]  # fancy indexing yields a fresh C-order copy
+            if C.aliased:
+                # replicas share one ndarray: a single write reaches all
+                C.blocks[(i, 0)][...] = blk
+            else:
+                for j in range(grid.q):
+                    C.blocks[(i, j)][...] = blk

@@ -161,13 +161,19 @@ class ChaseSolver:
     def _charge_all_ranks(self, kind: str, flops: float, phase_done=None) -> None:
         """Charge an identical redundant kernel on every rank."""
         for rank in self.grid.ranks:
-            model = KernelTimeModel(rank.gpu_spec)
-            rank.charge_compute(model.time(kind, flops))
+            rank.charge_compute(rank.kernel_model.time(kind, flops))
 
-    def _lms_gather_c(self, C: DistributedMultiVector, cols: slice):
+    def _lms_gather_c(self, C: DistributedMultiVector, cols: slice,
+                      pregathered: np.ndarray | None = None):
         """v1.2 collection of the distributed C into a redundant buffer
         (one bcast per rank of each column communicator), then the
-        (numeric) global matrix assembled directly."""
+        (numeric) global matrix assembled directly.
+
+        The broadcast buffers only size the modeled charges, so
+        contiguous column slices are passed as views (no copy); a
+        caller that already holds ``C.gather(0)`` can pass it as
+        ``pregathered`` to skip the re-assembly.
+        """
         grid = self.grid
         width = (cols.stop - (cols.start or 0))
         for j in range(grid.q):
@@ -175,14 +181,18 @@ class ChaseSolver:
             bufs = []
             for i in range(grid.p):
                 blk = C.blocks[(i, j)]
-                bufs.append(
-                    blk.cols(cols.start, cols.stop)
-                    if C.is_phantom
-                    else np.ascontiguousarray(blk[:, cols])
-                )
+                if C.is_phantom:
+                    bufs.append(blk.cols(cols.start, cols.stop))
+                else:
+                    sl = blk[:, cols]
+                    bufs.append(
+                        sl if sl.flags["C_CONTIGUOUS"] else np.ascontiguousarray(sl)
+                    )
             comm.allgather_by_bcasts(bufs)
         if C.is_phantom:
             return PhantomArray((self.H.N, width), C.dtype)
+        if pregathered is not None:
+            return pregathered[:, cols]
         return C.gather(0)[:, cols]
 
     def _lms_gather_b(self, Bmv: DistributedMultiVector):
@@ -200,19 +210,28 @@ class ChaseSolver:
             return
         for i in range(self.grid.p):
             rows = global_indices(C.index_map, i)
-            blk = np.ascontiguousarray(V[rows, :])
-            for j in range(self.grid.q):
-                C.blocks[(i, j)][:, cols] = blk
+            blk = V[rows, :]  # fancy indexing already yields a fresh C-order copy
+            if C.aliased:
+                C.blocks[(i, 0)][:, cols] = blk
+            else:
+                for j in range(self.grid.q):
+                    C.blocks[(i, j)][:, cols] = blk
 
     def _lms_stage_full(self, nbytes: float) -> None:
         """v1.2 copies results back to the host after each GPU kernel."""
         for rank in self.grid.ranks:
             rank.stage_d2h(nbytes)
 
-    def _iterate_lms(self, C, C2, locked: int, phantom: bool, tracer):
+    def _iterate_lms(self, C, C2, locked: int, phantom: bool, tracer,
+                     pregathered: np.ndarray | None = None):
         """One LMS iteration of QR + RR + Residuals on redundant buffers.
 
         Returns (ritzv_active, resd_active) (``None`` in phantom mode).
+
+        The RR and Resid phases reuse the scattered ``Q``/``Vnew``
+        matrices instead of re-gathering ``C`` — the scatter writes
+        exactly those values into the blocks, so the re-assembled global
+        matrix is bit-identical to the matrix scattered.
         """
         grid, H, cfg = self.grid, self.H, self.cfg
         ne = cfg.ne
@@ -223,7 +242,7 @@ class ChaseSolver:
         k = ne - locked
 
         with tracer.phase("QR"):
-            V = self._lms_gather_c(C, slice(0, ne))
+            V = self._lms_gather_c(C, slice(0, ne), pregathered=pregathered)
             qr_flops = 2.0 * geqrf_flops(N, ne, dtype)
             if dtype.kind == "c":
                 qr_flops /= 1.8  # ZGEQRF rate advantage (see LocalKernels.qr)
@@ -244,7 +263,7 @@ class ChaseSolver:
             ritzv = None
             Y = None
             if not phantom:
-                Qa = C.gather(0)[:, active]
+                Qa = Q[:, active]  # == C.gather(0)[:, active] after the scatter
                 A = Qa.conj().T @ Wfull
                 A = 0.5 * (A + A.conj().T)
                 ritzv, Y = np.linalg.eigh(A)
@@ -269,7 +288,7 @@ class ChaseSolver:
                 )
             resd = None
             if not phantom:
-                R = W2full - (C.gather(0)[:, active]) * ritzv[None, :]
+                R = W2full - Vnew * ritzv[None, :]  # Vnew == C.gather(0)[:, active]
                 resd = np.linalg.norm(R, axis=0)
         return ritzv, resd
 
@@ -341,11 +360,15 @@ class ChaseSolver:
 
             cond = estimate_condition(ritzv, c, e, degs_full, locked)
             cond_true = None
+            gathered_c = None
             if cfg.compute_true_cond:
                 # kappa_2 of the matrix the estimate models: the block of
                 # vectors *outputted by the filter* (the locked columns are
-                # not filtered), computed by SVD as in the paper's Fig. 1
-                cond_true = float(np.linalg.cond(C.gather(0)[:, locked:]))
+                # not filtered), computed by SVD as in the paper's Fig. 1.
+                # The assembled matrix is kept: the LMS QR phase gathers
+                # the same (unmodified) C and can reuse it.
+                gathered_c = C.gather(0)
+                cond_true = float(np.linalg.cond(gathered_c[:, locked:]))
 
             if self.scheme == "new":
                 with tracer.phase("QR"):
@@ -364,7 +387,7 @@ class ChaseSolver:
             else:
                 report = QRReport(variant="HHQR(redundant)")
                 ritz_active, resd_active = self._iterate_lms(
-                    C, C2, locked, False, tracer
+                    C, C2, locked, False, tracer, pregathered=gathered_c
                 )
 
             ritzv = np.concatenate([ritzv[:locked], ritz_active])

@@ -30,17 +30,32 @@ def mv_axpby(
     beta: float,
     Y: DistributedMultiVector,
 ) -> DistributedMultiVector:
-    """``alpha X + beta Y`` blockwise (no communication; same layout)."""
+    """``alpha X + beta Y`` blockwise (no communication; same layout).
+
+    When both operands are aliased (replication-aware numeric mode) the
+    combination is computed once per replication group and the result
+    ndarray aliased into every replica slot; replica ranks are still
+    charged the modeled kernel time.
+    """
     if X.layout != Y.layout or X.ne != Y.ne:
         raise ValueError("mv_axpby needs same-layout, same-width multivectors")
     grid = X.grid
+    dedup = X.aliased and Y.aliased and not X.is_phantom
     blocks = {}
     for i in range(grid.p):
         for j in range(grid.q):
             rank = grid.rank_at(i, j)
+            if dedup:
+                root = X.rep_root(i, j)
+                if root in blocks:
+                    rank.k.axpby(
+                        alpha, X.blocks[(i, j)], beta, Y.blocks[(i, j)], compute=False
+                    )
+                    blocks[(i, j)] = blocks[root]
+                    continue
             blocks[(i, j)] = rank.k.axpby(alpha, X.blocks[(i, j)], beta, Y.blocks[(i, j)])
     return DistributedMultiVector(
-        grid, X.index_map, X.layout, X.ne, blocks, X.dtype
+        grid, X.index_map, X.layout, X.ne, blocks, X.dtype, aliased=dedup
     )
 
 

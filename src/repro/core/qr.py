@@ -87,35 +87,78 @@ def _stage_c(grid: Grid2D, C: DistributedMultiVector, direction: str) -> None:
                     rank.stage_h2d(nb)
 
 
+def _dedup(C: DistributedMultiVector) -> bool:
+    """Replication-aware numeric mode: compute once per group, alias."""
+    return C.aliased and not C.is_phantom
+
+
 def _gram_allreduced(grid: Grid2D, C: DistributedMultiVector) -> dict:
-    """Per-rank SYRK + allreduce over the column communicators."""
+    """Per-rank SYRK + allreduce over the column communicators.
+
+    With an aliased ``C`` the SYRK runs once per grid row (the column
+    replicas hold the same block) and a single shared allreduce over
+    column communicator 0 produces the — globally identical — Gram
+    matrix; the remaining column communicators charge the identical
+    collective without moving data.
+    """
+    dedup = _dedup(C)
     grams = {}
     for i in range(grid.p):
         for j in range(grid.q):
             rank = grid.rank_at(i, j)
-            grams[(i, j)] = rank.qr_kernels.syrk(C.blocks[(i, j)])
-    for j in range(grid.q):
-        grid.col_comm(j).allreduce([grams[(i, j)] for i in range(grid.p)])
+            if dedup and j > 0:
+                rank.qr_kernels.syrk(C.blocks[(i, j)], compute=False)
+                grams[(i, j)] = grams[(i, 0)]
+            else:
+                grams[(i, j)] = rank.qr_kernels.syrk(C.blocks[(i, j)])
+    if dedup:
+        res = grid.col_comm(0).allreduce(
+            [grams[(i, 0)] for i in range(grid.p)], shared=True
+        )
+        for j in range(1, grid.q):
+            grid.col_comm(j).allreduce(
+                [grams[(i, j)] for i in range(grid.p)], compute=False
+            )
+        for key in grams:
+            grams[key] = res[0]
+    else:
+        for j in range(grid.q):
+            grid.col_comm(j).allreduce([grams[(i, j)] for i in range(grid.p)])
     return grams
 
 
-def _potrf_all(grid: Grid2D, grams: dict) -> tuple[dict, int]:
+def _potrf_all(grid: Grid2D, grams: dict, shared: bool = False) -> tuple[dict, int]:
     factors = {}
     info_any = 0
+    first = None  # unique (R, info) when the gram matrices are shared
     for i in range(grid.p):
         for j in range(grid.q):
             rank = grid.rank_at(i, j)
-            R, info = rank.qr_kernels.potrf(grams[(i, j)])
+            if shared:
+                if first is None:
+                    first = rank.qr_kernels.potrf(grams[(i, j)])
+                else:
+                    rank.qr_kernels.potrf(grams[(i, j)], compute=False)
+                R, info = first
+            else:
+                R, info = rank.qr_kernels.potrf(grams[(i, j)])
             factors[(i, j)] = R
             info_any |= info
     return factors, info_any
 
 
 def _trsm_all(grid: Grid2D, C: DistributedMultiVector, factors: dict) -> None:
+    dedup = _dedup(C)
     for i in range(grid.p):
         for j in range(grid.q):
             rank = grid.rank_at(i, j)
-            C.blocks[(i, j)] = rank.qr_kernels.trsm(C.blocks[(i, j)], factors[(i, j)])
+            if dedup and j > 0:
+                rank.qr_kernels.trsm(C.blocks[(i, j)], factors[(i, j)], compute=False)
+                C.blocks[(i, j)] = C.blocks[(i, 0)]
+            else:
+                C.blocks[(i, j)] = rank.qr_kernels.trsm(
+                    C.blocks[(i, j)], factors[(i, j)]
+                )
 
 
 def cholesky_qr(
@@ -131,7 +174,7 @@ def cholesky_qr(
     _stage_c(grid, C, "d2h")
     for _rep in range(chol_degree):
         grams = _gram_allreduced(grid, C)
-        factors, info = _potrf_all(grid, grams)
+        factors, info = _potrf_all(grid, grams, shared=_dedup(C))
         if info:
             report.breakdowns += 1
             return info
@@ -152,6 +195,7 @@ def shifted_cholesky_qr2(
     """
     report.shifted = True
     N, ne = C.index_map.N, C.ne
+    dedup = _dedup(C)
     _stage_c(grid, C, "d2h")
     grams = _gram_allreduced(grid, C)
 
@@ -160,7 +204,11 @@ def shifted_cholesky_qr2(
     for i in range(grid.p):
         for j in range(grid.q):
             rank = grid.rank_at(i, j)
-            norms[(i, j)] = rank.qr_kernels.frob_norm_sq(C.blocks[(i, j)])
+            if dedup and j > 0:
+                rank.qr_kernels.frob_norm_sq(C.blocks[(i, j)], compute=False)
+                norms[(i, j)] = norms[(i, 0)]
+            else:
+                norms[(i, j)] = rank.qr_kernels.frob_norm_sq(C.blocks[(i, j)])
     for j in range(grid.q):
         res = grid.col_comm(j).allreduce([norms[(i, j)] for i in range(grid.p)])
         for i in range(grid.p):
@@ -169,11 +217,19 @@ def shifted_cholesky_qr2(
     s = 11.0 * (N * ne + ne * (ne + 1)) * unit_roundoff(C.dtype) * norms[(0, 0)]
 
     shifted = {}
+    first = None
     for i in range(grid.p):
         for j in range(grid.q):
             rank = grid.rank_at(i, j)
-            shifted[(i, j)] = rank.qr_kernels.add_diag(grams[(i, j)], s)
-    factors, info = _potrf_all(grid, shifted)
+            if dedup:
+                if first is None:
+                    first = rank.qr_kernels.add_diag(grams[(i, j)], s)
+                else:
+                    rank.qr_kernels.add_diag(grams[(i, j)], s, compute=False)
+                shifted[(i, j)] = first
+            else:
+                shifted[(i, j)] = rank.qr_kernels.add_diag(grams[(i, j)], s)
+    factors, info = _potrf_all(grid, shifted, shared=dedup)
     if info:
         report.breakdowns += 1
         report.fallback_hhqr = True

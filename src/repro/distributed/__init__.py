@@ -14,6 +14,11 @@ Implements the paper's data decomposition (Sec. 2.2 / 3.1):
 
 from repro.distributed.block import BlockMap1D, BlockCyclicMap1D, overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
+from repro.distributed.replication import (
+    numeric_dedup,
+    numeric_dedup_enabled,
+    set_numeric_dedup,
+)
 from repro.distributed.multivector import DistributedMultiVector
 from repro.distributed.hemm import DistributedHemm
 from repro.distributed.redistribute import redistribute_c_to_b, redistribute_b_to_c
@@ -27,4 +32,7 @@ __all__ = [
     "DistributedHemm",
     "redistribute_c_to_b",
     "redistribute_b_to_c",
+    "numeric_dedup",
+    "numeric_dedup_enabled",
+    "set_numeric_dedup",
 ]

@@ -12,6 +12,18 @@ recurrence alternates layouts without ever re-distributing the vectors:
 Both directions optionally apply the spectral shift
 ``alpha (H - gamma I) X`` needed by the filter; the diagonal term is
 applied exactly once per global row via the row/column segment overlap.
+
+The per-rank GEMMs are *unique* work — the ``p*q`` partial products sum
+to exactly the global ``2 N^2 w`` flops — so nothing is deduplicated
+there.  What replication-aware execution removes is the post-allreduce
+copy-back: with an aliased input the reduction runs once per
+communicator into a single shared ndarray that is aliased into every
+replica slot of the output (``Communicator.allreduce(shared=True)``).
+For complex dtypes the conjugated ``H`` blocks needed by the C->B
+direction are additionally cached (``H_ij.conj()`` is a full copy per
+call for complex arrays, a no-copy view for real ones); the cached
+array has the exact memory layout of the per-call temporary, keeping
+the GEMM results bit-identical.
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arrays import is_phantom
+from repro.distributed import replication
 from repro.distributed.block import overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.multivector import DistributedMultiVector
@@ -33,6 +46,27 @@ class DistributedHemm:
         self.H = H
         self.grid = H.grid
         self.matvecs = 0  # cumulative single-vector H-applications
+        self._hconj: dict[tuple[int, int], np.ndarray] = {}
+
+    def _h_conj(self, i: int, j: int):
+        """``H.local(i, j).conj()``, cached for complex numeric blocks.
+
+        The gemm for the C->B direction evaluates ``A.conj().T @ X``;
+        caching the ``.conj()`` (a per-call full copy for complex
+        dtypes) and handing out the same array preserves the exact
+        operand memory layout, so results stay bit-identical to the
+        uncached path.
+        """
+        Hij = self.H.local(i, j)
+        if is_phantom(Hij) or np.dtype(self.H.dtype).kind != "c":
+            return None  # .conj() is free (a view) for real ndarrays
+        if not replication.numeric_dedup_enabled():
+            return None
+        cached = self._hconj.get((i, j))
+        if cached is None:
+            cached = Hij.conj()
+            self._hconj[(i, j)] = cached
+        return cached
 
     def apply(
         self,
@@ -68,7 +102,14 @@ class DistributedHemm:
                 Xcols = Xblk.cols(cols.start, cols.stop) if is_phantom(Xblk) \
                     else Xblk[:, cols]
                 if to_b:
-                    W = rank.k.gemm(Hij, Xcols, op_a="C", kind="hemm")
+                    Hc = self._h_conj(i, j)
+                    if Hc is not None:
+                        # same flops/charge as op_a="C" (gemm_flops is
+                        # symmetric in the m/k swap); operand layout
+                        # matches the per-call Hij.conj() temporary
+                        W = rank.k.gemm(Hc.T, Xcols, op_a="N", kind="hemm")
+                    else:
+                        W = rank.k.gemm(Hij, Xcols, op_a="C", kind="hemm")
                 else:
                     W = rank.k.gemm(Hij, Xcols, op_a="N", kind="hemm")
                 if gamma != 0.0:
@@ -82,15 +123,30 @@ class DistributedHemm:
                     W = rank.k.scale(W, alpha)
                 contrib[(i, j)] = W
 
-        # reduction: sum the partial products across the distributed axis
+        # reduction: sum the partial products across the distributed axis.
+        # With an aliased (dedup) input the result is summed once per
+        # communicator and the shared ndarray aliased into every replica.
+        dedup = X.aliased and not X.is_phantom
         if to_b:
             for j in range(grid.q):
                 comm = grid.col_comm(j)
-                comm.allreduce([contrib[(i, j)] for i in range(grid.p)])
+                res = comm.allreduce(
+                    [contrib[(i, j)] for i in range(grid.p)], shared=dedup
+                )
+                if dedup:
+                    for i in range(grid.p):
+                        contrib[(i, j)] = res[0]
         else:
             for i in range(grid.p):
                 comm = grid.row_comm(i)
-                comm.allreduce([contrib[(i, j)] for j in range(grid.q)])
+                res = comm.allreduce(
+                    [contrib[(i, j)] for j in range(grid.q)], shared=dedup
+                )
+                if dedup:
+                    for j in range(grid.q):
+                        contrib[(i, j)] = res[0]
 
         dtype = np.result_type(H.dtype, X.dtype)
-        return DistributedMultiVector(grid, out_map, out_layout, width, contrib, dtype)
+        return DistributedMultiVector(
+            grid, out_map, out_layout, width, contrib, dtype, aliased=dedup
+        )

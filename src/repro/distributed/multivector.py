@@ -8,6 +8,16 @@ Two layouts (paper Sec. 3.1):
 * ``"B"`` — rows split by the grid's **column map** over ``j`` and
   replicated across grid rows ``i``: one row communicator jointly holds
   the full matrix.
+
+Replication-group execution: because the blocks of one replication
+group (fixed ``i``, all ``j`` in layout "C"; fixed ``j``, all ``i`` in
+layout "B") hold identical data by construction, numeric mode can store
+**one shared ndarray per group** and alias it into every replica slot.
+Multivectors built this way carry ``aliased=True`` and every mutating
+operation (``write_into``, ``permute_columns``, ``copy_cols_from``)
+preserves or re-establishes the aliasing; ``view_cols`` returns one
+shared view per group.  See ``repro.distributed.replication`` for the
+global switch and ``DESIGN.md`` for the invariant.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arrays import PhantomArray, is_phantom
+from repro.distributed import replication
 from repro.distributed.hermitian import global_indices
 from repro.runtime.grid import Grid2D
 
@@ -24,7 +35,16 @@ __all__ = ["DistributedMultiVector"]
 class DistributedMultiVector:
     """An ``N x ne`` matrix of vectors in layout ``"C"`` or ``"B"``."""
 
-    def __init__(self, grid: Grid2D, index_map, layout: str, ne: int, blocks, dtype):
+    def __init__(
+        self,
+        grid: Grid2D,
+        index_map,
+        layout: str,
+        ne: int,
+        blocks,
+        dtype,
+        aliased: bool = False,
+    ):
         if layout not in ("C", "B"):
             raise ValueError(f"layout must be 'C' or 'B', got {layout!r}")
         self.grid = grid
@@ -33,12 +53,39 @@ class DistributedMultiVector:
         self.ne = int(ne)
         self.blocks = blocks  # dict[(i, j)] -> ndarray | PhantomArray
         self.dtype = np.dtype(dtype)
+        #: replicas of one group share a single ndarray (numeric dedup)
+        self.aliased = bool(aliased)
+
+    # -- replication groups --------------------------------------------------------
+    def rep_root(self, i: int, j: int) -> tuple[int, int]:
+        """Canonical key of the replication group ``(i, j)`` belongs to."""
+        return (i, 0) if self.layout == "C" else (0, j)
+
+    def rep_group(self, i: int, j: int) -> list[tuple[int, int]]:
+        """All keys holding replicas of block ``(i, j)``."""
+        if self.layout == "C":
+            return [(i, jj) for jj in range(self.grid.q)]
+        return [(ii, j) for ii in range(self.grid.p)]
+
+    def unique_keys(self) -> list[tuple[int, int]]:
+        """The canonical (root) key of every replication group."""
+        if self.layout == "C":
+            return [(i, 0) for i in range(self.grid.p)]
+        return [(0, j) for j in range(self.grid.q)]
+
+    def replicas_share_memory(self) -> bool:
+        """True when every replica slot holds its group's root ndarray."""
+        return all(
+            self.blocks[key] is self.blocks[self.rep_root(*key)]
+            for key in self.blocks
+        )
 
     # -- constructors ------------------------------------------------------------
     @classmethod
     def zeros(
         cls, grid: Grid2D, index_map, layout: str, ne: int, dtype, phantom: bool
     ) -> "DistributedMultiVector":
+        dedup = not phantom and replication.numeric_dedup_enabled()
         blocks = {}
         for i in range(grid.p):
             for j in range(grid.q):
@@ -46,9 +93,15 @@ class DistributedMultiVector:
                 n_local = index_map.local_size(part)
                 if phantom:
                     blocks[(i, j)] = PhantomArray((n_local, ne), dtype)
+                elif dedup:
+                    root = (i, 0) if layout == "C" else (0, j)
+                    if root in blocks:
+                        blocks[(i, j)] = blocks[root]
+                    else:
+                        blocks[(i, j)] = np.zeros((n_local, ne), dtype=dtype)
                 else:
                     blocks[(i, j)] = np.zeros((n_local, ne), dtype=dtype)
-        return cls(grid, index_map, layout, ne, blocks, dtype)
+        return cls(grid, index_map, layout, ne, blocks, dtype, aliased=dedup)
 
     @classmethod
     def from_global(
@@ -57,13 +110,18 @@ class DistributedMultiVector:
         """Distribute a global ``N x ne`` matrix (numeric mode)."""
         V = np.asarray(V)
         ne = V.shape[1]
+        dedup = replication.numeric_dedup_enabled()
         blocks = {}
         for i in range(grid.p):
             for j in range(grid.q):
                 part = i if layout == "C" else j
+                root = (i, 0) if layout == "C" else (0, j)
+                if dedup and root in blocks:
+                    blocks[(i, j)] = blocks[root]
+                    continue
                 rows = global_indices(index_map, part)
                 blocks[(i, j)] = np.ascontiguousarray(V[rows, :])
-        return cls(grid, index_map, layout, ne, blocks, V.dtype)
+        return cls(grid, index_map, layout, ne, blocks, V.dtype, aliased=dedup)
 
     # -- access --------------------------------------------------------------------
     def local(self, i: int, j: int):
@@ -103,6 +161,8 @@ class DistributedMultiVector:
         for i in range(self.grid.p):
             for j in range(self.grid.q):
                 ref_key = (i, 0) if self.layout == "C" else (0, j)
+                if self.blocks[(i, j)] is self.blocks[ref_key]:
+                    continue
                 err = max(
                     err,
                     float(
@@ -118,24 +178,46 @@ class DistributedMultiVector:
         """A column-sliced view (``[:, start:stop]``).
 
         Real blocks are NumPy *views* — writes through the view update
-        this multivector; phantom blocks are sliced metadata.
+        this multivector; phantom blocks are sliced metadata.  On an
+        aliased multivector the replicas of the result share one view
+        object per group, so the result is aliased too.
         """
         if not 0 <= start <= stop <= self.ne:
             raise ValueError(f"bad column range [{start}, {stop}) for ne={self.ne}")
         blocks = {}
         for key, blk in self.blocks.items():
+            if self.aliased:
+                root = self.rep_root(*key)
+                if root in blocks and self.blocks[root] is blk:
+                    blocks[key] = blocks[root]
+                    continue
             blocks[key] = blk.cols(start, stop) if is_phantom(blk) else blk[:, start:stop]
         return DistributedMultiVector(
-            self.grid, self.index_map, self.layout, stop - start, blocks, self.dtype
+            self.grid,
+            self.index_map,
+            self.layout,
+            stop - start,
+            blocks,
+            self.dtype,
+            aliased=self.aliased,
         )
 
     def write_into(self, target: "DistributedMultiVector", start: int) -> None:
-        """``target[:, start:start+self.ne] = self`` blockwise (no comm)."""
+        """``target[:, start:start+self.ne] = self`` blockwise (no comm).
+
+        When the target is aliased, each replication group is written
+        once through its shared ndarray (the source replicas are
+        identical by the replication invariant).
+        """
         if self.layout != target.layout:
             raise ValueError("layout mismatch")
         if start + self.ne > target.ne:
             raise ValueError("target column range overflow")
         if self.is_phantom:
+            return
+        if target.aliased:
+            for key in target.unique_keys():
+                target.blocks[key][:, start : start + self.ne] = self.blocks[key]
             return
         for key in self.blocks:
             target.blocks[key][:, start : start + self.ne] = self.blocks[key]
@@ -145,13 +227,22 @@ class DistributedMultiVector:
         """Apply one global column permutation to every local block.
 
         Column operations are rank-local in both layouts (rows are what
-        is distributed), so locking's swaps need no communication.
+        is distributed), so locking's swaps need no communication.  On
+        an aliased multivector the permutation is materialized once per
+        replication group and the fresh array re-aliased into every
+        replica slot.
         """
         if self.is_phantom:
             return
         perm = np.asarray(perm)
         if perm.shape != (self.ne,):
             raise ValueError("permutation length must equal ne")
+        if self.aliased:
+            for root in self.unique_keys():
+                new = np.ascontiguousarray(self.blocks[root][:, perm])
+                for key in self.rep_group(*root):
+                    self.blocks[key] = new
+            return
         for key, blk in self.blocks.items():
             self.blocks[key] = np.ascontiguousarray(blk[:, perm])
 
@@ -160,6 +251,10 @@ class DistributedMultiVector:
         if self.layout != other.layout or self.ne != other.ne:
             raise ValueError("incompatible multivectors")
         if self.is_phantom:
+            return
+        if self.aliased:
+            for key in self.unique_keys():
+                self.blocks[key][:, start:stop] = other.blocks[key][:, start:stop]
             return
         for key in self.blocks:
             self.blocks[key][:, start:stop] = other.blocks[key][:, start:stop]

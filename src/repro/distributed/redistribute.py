@@ -46,6 +46,7 @@ def redistribute_c_to_b(
     phantom = C.is_phantom
     n_bcasts = 0
 
+    dedup = not phantom and B.aliased
     for j in range(grid.q):
         comm = grid.col_comm(j)
         for i in range(grid.p):
@@ -57,6 +58,13 @@ def redistribute_c_to_b(
                         for _ in range(grid.p)
                     ]
                     comm.bcast(bufs, root=i)
+                elif dedup:
+                    # the target replicates over grid rows: broadcast
+                    # the root's segment view (charges unchanged) and
+                    # write once through the shared target block
+                    src = C.blocks[(i, j)][rsl, start:stop]
+                    comm.bcast([src] * grid.p, root=i, shared=True)
+                    B.blocks[(0, j)][csl, start:stop] = src
                 else:
                     bufs = []
                     for ii in range(grid.p):
@@ -102,6 +110,7 @@ def redistribute_b_to_c(
     phantom = B.is_phantom
     n_bcasts = 0
 
+    dedup = not phantom and C.aliased
     for i in range(grid.p):
         comm = grid.row_comm(i)
         for j in range(grid.q):
@@ -114,6 +123,10 @@ def redistribute_b_to_c(
                         for _ in range(grid.q)
                     ]
                     comm.bcast(bufs, root=j)
+                elif dedup:
+                    src = B.blocks[(i, j)][csl, start:stop]
+                    comm.bcast([src] * grid.q, root=j, shared=True)
+                    C.blocks[(i, 0)][rsl, start:stop] = src
                 else:
                     bufs = []
                     for jj in range(grid.q):

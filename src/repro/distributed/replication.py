@@ -1,0 +1,55 @@
+"""Replication-aware numeric execution (compute-once, alias-everywhere).
+
+Both multivector layouts are *replicated* along one grid axis (paper
+Sec. 3.1): layout ``"C"`` stores identical blocks on every grid column
+``j`` of a row ``i``; layout ``"B"`` stores identical blocks on every
+grid row ``i`` of a column ``j``.  The simulator used to *recompute*
+every replica numerically — ``q`` (or ``p``) identical GEMMs, POTRFs,
+axpbys — multiplying numeric wall-clock by the replication factor.
+
+With numeric dedup enabled (the default), numeric kernels compute each
+unique block **once** and alias the very same ndarray into every
+replica slot.  The performance model is unaffected: modeled time,
+CommStats counters and staging charges are still applied per rank in
+exactly the seed order, so modeled makespans stay bit-identical (see
+``DESIGN.md``, "Replication invariant", and the regression tests in
+``tests/test_replication_regression.py``).
+
+The switch is consulted **at construction time** only: it decides
+whether new :class:`~repro.distributed.multivector.DistributedMultiVector`
+instances are built aliased.  Every execution site then adapts to the
+``aliased`` property of the multivectors it touches — with the switch
+off, no aliased multivector ever exists and the code paths degenerate
+to the seed behaviour byte for byte.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+__all__ = ["numeric_dedup_enabled", "set_numeric_dedup", "numeric_dedup"]
+
+_ENABLED = True
+
+
+def numeric_dedup_enabled() -> bool:
+    """Whether new numeric multivectors are built with aliased replicas."""
+    return _ENABLED
+
+
+def set_numeric_dedup(enabled: bool) -> bool:
+    """Set the global dedup switch; returns the previous value."""
+    global _ENABLED
+    prev = _ENABLED
+    _ENABLED = bool(enabled)
+    return prev
+
+
+@contextlib.contextmanager
+def numeric_dedup(enabled: bool):
+    """Context manager scoping the dedup switch (used by benchmarks/tests)."""
+    prev = set_numeric_dedup(enabled)
+    try:
+        yield
+    finally:
+        set_numeric_dedup(prev)

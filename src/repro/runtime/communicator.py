@@ -125,12 +125,26 @@ class Communicator:
             r.charge_comm(dt)
 
     # -- collectives --------------------------------------------------------------------
-    def allreduce(self, buffers, op: str = "sum"):
+    def allreduce(self, buffers, op: str = "sum", *, shared: bool = False,
+                  compute: bool = True):
         """SUM-allreduce one buffer per rank.
 
         Real arrays are updated **in place** (so views into larger rank
         buffers work as MPI_IN_PLACE does); scalars and phantoms are
         returned as a new list.  Returns the list of per-rank results.
+
+        ``shared=True`` is the replication-aware fast path: the unique
+        contributions are summed once, **into** ``buffers[0]`` (same
+        accumulation order as the seed path, so the float result is
+        bit-identical), and that single ndarray is returned as every
+        rank's result instead of copying the total back into each
+        buffer.  All modeled charges, staging and CommStats are
+        identical to the default path.
+
+        ``compute=False`` charges the collective (stats, staging,
+        barrier, modeled time) without moving any data — used for the
+        replica communicators of replication groups whose shared result
+        was already produced by their root communicator.
         """
         if op != "sum":
             raise NotImplementedError("only SUM allreduce is used by ChASE")
@@ -142,11 +156,18 @@ class Communicator:
         self._barrier_entry()
         self._charge_comm_all(self.model.allreduce(nbytes, self.size, self.spans_nodes))
         self._stage(nbytes, "h2d")
+        if not compute:
+            return list(buffers)
         if scalar:
             total = sum(buffers)
             return [total] * self.size
         if is_phantom(buffers[0]):
             return list(buffers)
+        if shared:
+            total = buffers[0]
+            for b in buffers[1:]:
+                total += b
+            return [total] * self.size
         total = buffers[0].copy()
         for b in buffers[1:]:
             total += b
@@ -154,8 +175,15 @@ class Communicator:
             b[...] = total
         return list(buffers)
 
-    def bcast(self, buffers, root: int):
-        """Broadcast the root's buffer into every rank's buffer (in place)."""
+    def bcast(self, buffers, root: int, *, shared: bool = False,
+              compute: bool = True):
+        """Broadcast the root's buffer into every rank's buffer (in place).
+
+        ``shared=True`` skips the per-replica copies and returns the
+        root's ndarray as every rank's result (replication-aware fast
+        path); ``compute=False`` charges without moving data.  Charges,
+        staging and CommStats are unchanged by either.
+        """
         if not 0 <= root < self.size:
             raise IndexError(f"root {root} out of range for size {self.size}")
         nbytes, scalar = self._check_buffers(buffers)
@@ -166,10 +194,14 @@ class Communicator:
         self._barrier_entry()
         self._charge_comm_all(self.model.bcast(nbytes, self.size, self.spans_nodes))
         self._stage(nbytes, "h2d")
+        if not compute:
+            return list(buffers)
         if scalar:
             return [buffers[root]] * self.size
         if is_phantom(buffers[0]):
             return list(buffers)
+        if shared:
+            return [buffers[root]] * self.size
         src = buffers[root]
         for i, b in enumerate(buffers):
             if i != root:

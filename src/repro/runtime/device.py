@@ -12,6 +12,13 @@ Every method
 The mapping to the paper's GPU port (Sec. 3.3): GEMM/HEMM -> cuBLAS,
 SYRK/TRSM -> cuBLAS, POTRF/GEQRF/HEEVD -> cuSOLVER, batched BLAS-1
 residual kernels -> custom CUDA kernel (NCCL build) or host BLAS (STD).
+
+Every kernel accepts ``compute=False`` to charge the modeled time
+without touching the numerics (returning ``None``).  Replication-aware
+execution uses it for replica ranks whose result is aliased from the
+group's root (see ``repro.distributed.replication``): the cost model
+sees the identical per-rank charge sequence while the arithmetic runs
+once per unique block.
 """
 
 from __future__ import annotations
@@ -56,7 +63,16 @@ class LocalKernels:
         self._charge = charge
 
     # -- level 3 ---------------------------------------------------------------
-    def gemm(self, A, B, *, op_a: str = "N", alpha: float = 1.0, kind: str = "gemm"):
+    def gemm(
+        self,
+        A,
+        B,
+        *,
+        op_a: str = "N",
+        alpha: float = 1.0,
+        kind: str = "gemm",
+        compute: bool = True,
+    ):
         """``alpha * op(A) @ B`` with ``op in {"N", "T", "C"}``."""
         if op_a not in ("N", "T", "C"):
             raise ValueError(f"bad op_a {op_a!r}")
@@ -66,6 +82,8 @@ class LocalKernels:
             raise ValueError(f"gemm shape mismatch: op(A)={am}x{ak}, B={bk}x{bn}")
         dtype = np.result_type(A.dtype, B.dtype)
         self._charge(self.model.time(kind, gemm_flops(am, bn, ak, dtype)))
+        if not compute:
+            return None
         if _any_phantom(A, B):
             return PhantomArray((am, bn), dtype)
         Aop = A if op_a == "N" else (A.T if op_a == "T" else A.conj().T)
@@ -74,26 +92,30 @@ class LocalKernels:
             out *= alpha
         return out
 
-    def hemm(self, H, X, *, op_h: str = "N", alpha: float = 1.0):
+    def hemm(self, H, X, *, op_h: str = "N", alpha: float = 1.0, compute: bool = True):
         """Hermitian matrix times a block of vectors (cuBLAS ZHEMM/DSYMM)."""
-        return self.gemm(H, X, op_a=op_h, alpha=alpha, kind="hemm")
+        return self.gemm(H, X, op_a=op_h, alpha=alpha, kind="hemm", compute=compute)
 
-    def syrk(self, X):
+    def syrk(self, X, *, compute: bool = True):
         """Gram matrix ``X^H X`` (ZHERK/DSYRK)."""
         m, n = X.shape
         self._charge(self.model.time("syrk", syrk_flops(n, m, X.dtype)))
+        if not compute:
+            return None
         if is_phantom(X):
             return PhantomArray((n, n), X.dtype)
         G = X.conj().T @ X
         # enforce exact Hermitian symmetry (SYRK only writes one triangle)
         return 0.5 * (G + G.conj().T)
 
-    def trsm(self, X, R):
+    def trsm(self, X, R, *, compute: bool = True):
         """``X <- X R^{-1}`` with ``R`` upper triangular (right-side TRSM)."""
         m, n = X.shape
-        if R.shape != (n, n):
+        if R is not None and R.shape != (n, n):
             raise ValueError(f"trsm shape mismatch: X={X.shape}, R={R.shape}")
         self._charge(self.model.time("trsm", trsm_flops(m, n, X.dtype)))
+        if not compute:
+            return None
         if _any_phantom(X, R):
             return PhantomArray((m, n), np.result_type(X.dtype, R.dtype))
         # Y R = X  =>  R^T Y^T = X^T (plain transpose, also valid for complex)
@@ -101,12 +123,14 @@ class LocalKernels:
         return np.ascontiguousarray(Yt.T)
 
     # -- factorizations ---------------------------------------------------------
-    def potrf(self, G):
+    def potrf(self, G, *, compute: bool = True):
         """Cholesky ``G = R^H R`` (upper factor).  Returns ``(R, info)``;
         ``info != 0`` signals breakdown (matrix not positive definite),
         mirroring LAPACK xPOTRF semantics."""
         n = G.shape[0]
         self._charge(self.model.time("potrf", potrf_flops(n, G.dtype)))
+        if not compute:
+            return None, 0
         if is_phantom(G):
             return PhantomArray((n, n), G.dtype), 0
         try:
@@ -115,7 +139,7 @@ class LocalKernels:
             return G, 1
         return L.conj().T, 0
 
-    def qr(self, X):
+    def qr(self, X, *, compute: bool = True):
         """Economy Householder QR; returns the explicit Q factor
         (GEQRF + ORGQR/UNGQR, both charged).
 
@@ -128,15 +152,19 @@ class LocalKernels:
         if np.dtype(X.dtype).kind == "c":
             f /= 1.8
         self._charge(self.model.time("geqrf", 2.0 * f))  # factor + form Q
+        if not compute:
+            return None
         if is_phantom(X):
             return PhantomArray((m, n), X.dtype)
         Q, _ = np.linalg.qr(X)
         return Q
 
-    def eigh(self, A):
+    def eigh(self, A, *, compute: bool = True):
         """Full Hermitian eigendecomposition (cuSOLVER ZHEEVD/DSYEVD)."""
         n = A.shape[0]
         self._charge(self.model.time("heevd", heevd_flops(n, A.dtype)))
+        if not compute:
+            return None, None
         if is_phantom(A):
             return PhantomArray((n,), np.float64), PhantomArray((n, n), A.dtype)
         w, V = np.linalg.eigh(A)
@@ -149,18 +177,20 @@ class LocalKernels:
             + (n_ops - 1) * self.model.device.launch_overhead
         )
 
-    def axpby(self, alpha, X, beta, Y):
+    def axpby(self, alpha, X, beta, Y, *, compute: bool = True):
         """``alpha*X + beta*Y`` elementwise (same shapes)."""
         if tuple(X.shape) != tuple(Y.shape):
             raise ValueError("axpby shape mismatch")
         dtype = np.result_type(X.dtype, Y.dtype)
         nbytes = 3 * np.prod(X.shape) * np.dtype(dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return None
         if _any_phantom(X, Y):
             return PhantomArray(tuple(X.shape), dtype)
         return alpha * X + beta * Y
 
-    def axpy_into(self, W, wrows: slice, X, xrows: slice, alpha: float):
+    def axpy_into(self, W, wrows: slice, X, xrows: slice, alpha: float, *, compute: bool = True):
         """``W[wrows, :] += alpha * X[xrows, :]`` (row-sliced AXPY).
 
         Used for the diagonal-shift term of ``(H - gamma I) X`` on the
@@ -170,69 +200,90 @@ class LocalKernels:
         ncols = W.shape[1]
         nbytes = 3 * nrows * ncols * np.dtype(W.dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return W
         if _any_phantom(W, X):
             return W
         W[wrows, :] += alpha * X[xrows, :]
         return W
 
-    def scale(self, X, alpha: float):
-        """``X *= alpha`` in place (real); phantom pass-through."""
+    def scale(self, X, alpha: float, *, compute: bool = True):
+        """``X *= alpha`` in place (real); phantom pass-through.
+
+        ``compute=False`` charges without mutating — the caller must use
+        it for every replica slot sharing an already-scaled ndarray
+        (aliased multivectors), else the shared block is scaled twice.
+        """
         nbytes = 2 * np.prod(X.shape) * np.dtype(X.dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return X
         if is_phantom(X):
             return X
         X *= alpha
         return X
 
-    def scale_columns(self, X, v):
+    def scale_columns(self, X, v, *, compute: bool = True):
         """``X * v[None, :]`` — per-column scaling."""
         nbytes = 2 * np.prod(X.shape) * np.dtype(X.dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return None
         if _any_phantom(X, v):
             return PhantomArray(tuple(X.shape), X.dtype)
         return X * np.asarray(v)[None, :]
 
-    def sub_scaled_columns(self, B, B2, ritzv):
+    def sub_scaled_columns(self, B, B2, ritzv, *, compute: bool = True):
         """``B - B2 * ritzv[None, :]`` — the residual numerator
         (Algorithm 2, line 22), batched as one device kernel."""
         if tuple(B.shape) != tuple(B2.shape):
             raise ValueError("shape mismatch")
         nbytes = 3 * np.prod(B.shape) * np.dtype(B.dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return None
         if _any_phantom(B, B2, ritzv):
             return PhantomArray(tuple(B.shape), B.dtype)
         return B - B2 * np.asarray(ritzv)[None, :]
 
-    def colnorms_sq(self, X):
+    def colnorms_sq(self, X, *, compute: bool = True):
         """Squared Euclidean norm of each column (batched DOT kernels)."""
         nbytes = np.prod(X.shape) * np.dtype(X.dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return None
         if is_phantom(X):
             return PhantomArray((X.shape[1],), np.float64)
         return np.einsum("ij,ij->j", X.conj(), X).real.copy()
 
-    def dot_columns(self, X, Y):
+    def dot_columns(self, X, Y, *, compute: bool = True):
         """Per-column inner products ``diag(X^H Y)`` (batched DOT)."""
         if tuple(X.shape) != tuple(Y.shape):
             raise ValueError("dot_columns shape mismatch")
         nbytes = 2 * np.prod(X.shape) * np.dtype(X.dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return None
         if _any_phantom(X, Y):
             return PhantomArray((X.shape[1],), np.result_type(X.dtype, Y.dtype))
         return np.einsum("ij,ij->j", X.conj(), Y).copy()
 
-    def frob_norm_sq(self, X):
+    def frob_norm_sq(self, X, *, compute: bool = True):
         """Squared Frobenius norm (single fused reduction)."""
         nbytes = np.prod(X.shape) * np.dtype(X.dtype).itemsize
         self._blas1_charge(nbytes)
+        if not compute:
+            return None
         if is_phantom(X):
             return 1.0  # placeholder scalar; phantom mode never branches on it
         return float(np.vdot(X, X).real)
 
-    def add_diag(self, G, s: float):
+    def add_diag(self, G, s: float, *, compute: bool = True):
         """``G + s*I`` (shift before POTRF in s-CholeskyQR)."""
         n = G.shape[0]
         self._blas1_charge(2 * n * np.dtype(G.dtype).itemsize)
+        if not compute:
+            return None
         if is_phantom(G):
             return G
         out = G.copy()

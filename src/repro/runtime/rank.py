@@ -76,6 +76,13 @@ class RankContext:
         return self.gpu if self.backend.device_resident else self.cpu
 
     @property
+    def kernel_model(self) -> KernelTimeModel:
+        """The rank's device time model (cached; ``KernelTimeModel`` is
+        frozen/stateless, so callers must not construct fresh instances
+        per charge — use this one)."""
+        return self.gpu.model
+
+    @property
     def qr_kernels(self) -> LocalKernels:
         """Kernel set for the CholeskyQR factorization kernels.
 

@@ -1,0 +1,95 @@
+"""Modeled-cost regression: numeric dedup must not perturb the model.
+
+The replication-group execution layer changes *what the host process
+computes* (each unique block once), never *what the simulated machine is
+charged*: per-rank kernel charges, staging, collective orderings and
+byte counts are issued in exactly the seed order.  A fixed scenario must
+therefore produce **bit-identical** modeled makespans, per-phase
+breakdowns and communicator statistics with the dedup layer on and off
+— across both solver schemes and all three communication backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.chase import ChaseSolver
+from repro.core.config import ChaseConfig
+from repro.distributed import DistributedHermitian, numeric_dedup
+from repro.runtime import CommBackend, Grid2D, VirtualCluster
+
+N, NEV, NEX = 200, 25, 15
+
+
+def scenario_matrix(dtype):
+    rng = np.random.default_rng(31415)
+    A = rng.standard_normal((N, N))
+    if np.dtype(dtype).kind == "c":
+        A = A + 1j * rng.standard_normal((N, N))
+    return ((A + A.conj().T) / 2).astype(dtype)
+
+
+def run_scenario(dedup: bool, scheme: str, backend: CommBackend, dtype):
+    """One fixed solve on a fresh cluster; returns all modeled outputs."""
+    with numeric_dedup(dedup):
+        H = scenario_matrix(dtype)
+        cluster = VirtualCluster(4, backend=backend)
+        grid = Grid2D(cluster, 2, 2)
+        Hd = DistributedHermitian.from_dense(grid, H)
+        solver = ChaseSolver(
+            grid, Hd, ChaseConfig(nev=NEV, nex=NEX), scheme=scheme
+        )
+        res = solver.solve(rng=np.random.default_rng(2718), return_vectors=True)
+        comm_stats = []
+        for j in range(grid.q):
+            s = grid.col_comm(j).stats
+            comm_stats.append(("col", j, s.collectives, s.messages, s.bytes_moved))
+        for i in range(grid.p):
+            s = grid.row_comm(i).stats
+            comm_stats.append(("row", i, s.collectives, s.messages, s.bytes_moved))
+        timings = {
+            phase: (b.compute, b.comm, b.datamove)
+            for phase, b in res.timings.items()
+        }
+        clocks = [r.clock.now for r in cluster.ranks]
+    return res, comm_stats, timings, clocks
+
+
+@pytest.mark.parametrize(
+    "backend", [CommBackend.NCCL, CommBackend.MPI_STAGED, CommBackend.MPI_HOST]
+)
+@pytest.mark.parametrize("scheme", ["new", "lms"])
+def test_model_bit_identical_with_and_without_dedup(scheme, backend):
+    r1, s1, t1, c1 = run_scenario(True, scheme, backend, np.float64)
+    r0, s0, t0, c0 = run_scenario(False, scheme, backend, np.float64)
+
+    # convergence path identical (same iterations, same decisions)
+    assert r1.converged and r0.converged
+    assert r1.iterations == r0.iterations
+    np.testing.assert_array_equal(r1.eigenvalues, r0.eigenvalues)
+    np.testing.assert_array_equal(r1.eigenvectors, r0.eigenvectors)
+
+    # modeled time: makespan and every rank clock, bit-for-bit
+    assert r1.makespan == r0.makespan
+    assert c1 == c0
+
+    # per-phase breakdown totals, bit-for-bit
+    assert set(t1) == set(t0)
+    for phase in t1:
+        assert t1[phase] == t0[phase], f"phase {phase!r} drifted"
+
+    # communicator statistics: collectives / messages / bytes
+    assert s1 == s0
+
+
+@pytest.mark.parametrize("scheme", ["new", "lms"])
+def test_model_bit_identical_complex(scheme):
+    """Complex path exercises the cached-conjugate HEMM operands."""
+    r1, s1, t1, c1 = run_scenario(True, scheme, CommBackend.NCCL, np.complex128)
+    r0, s0, t0, c0 = run_scenario(False, scheme, CommBackend.NCCL, np.complex128)
+    np.testing.assert_array_equal(r1.eigenvalues, r0.eigenvalues)
+    assert r1.makespan == r0.makespan
+    assert c1 == c0
+    assert t1 == t0
+    assert s1 == s0
