@@ -31,7 +31,7 @@ from repro.arrays import PhantomArray
 from repro.core.condest import estimate_condition
 from repro.core.config import ChaseConfig
 from repro.core.degrees import optimize_degrees, sort_by_degree
-from repro.core.filter import chebyshev_filter
+from repro.core.filter import FilterWorkspace, chebyshev_filter
 from repro.core.lanczos import SpectralBounds, lanczos_bounds
 from repro.core.locking import plan_locking
 from repro.core.qr import QRReport, caqr_1d, cholesky_qr, shifted_cholesky_qr2
@@ -320,6 +320,8 @@ class ChaseSolver:
         locked = 0
         trace = ConvergenceTrace()
         it = 0
+        # ping-pong buffers reused by every filter call of the solve
+        filter_ws = FilterWorkspace()
 
         while locked < nev and it < cfg.max_iter:
             it += 1
@@ -353,7 +355,8 @@ class ChaseSolver:
 
             with tracer.phase("Filter"):
                 mv = chebyshev_filter(
-                    self.hemm, C, locked, degs_active, c, e, mu1_f
+                    self.hemm, C, locked, degs_active, c, e, mu1_f,
+                    workspace=filter_ws,
                 )
                 if self.scheme == "lms":
                     self._lms_stage_full(H.N * ne * np.dtype(H.dtype).itemsize)

@@ -20,8 +20,10 @@ import numpy as np
 
 from repro.distributed.hemm import DistributedHemm
 from repro.distributed.multivector import DistributedMultiVector
+from repro.runtime import executor
+from repro.runtime.device import axpby_numeric
 
-__all__ = ["chebyshev_filter", "mv_axpby"]
+__all__ = ["chebyshev_filter", "mv_axpby", "FilterWorkspace"]
 
 
 def mv_axpby(
@@ -29,6 +31,7 @@ def mv_axpby(
     X: DistributedMultiVector,
     beta: float,
     Y: DistributedMultiVector,
+    out: DistributedMultiVector | None = None,
 ) -> DistributedMultiVector:
     """``alpha X + beta Y`` blockwise (no communication; same layout).
 
@@ -36,11 +39,51 @@ def mv_axpby(
     combination is computed once per replication group and the result
     ndarray aliased into every replica slot; replica ranks are still
     charged the modeled kernel time.
+
+    ``out`` (dedup mode only) receives the result in place — its root
+    blocks may alias ``X``'s (the recurrence passes ``out=X``) but must
+    not alias ``Y``'s.  With ``out`` or kernel workers > 1 the charges
+    are issued first on the main thread and the per-group arithmetic
+    runs as pure closures (``repro.runtime.executor``); the bits and
+    the modeled charges are unchanged.
     """
     if X.layout != Y.layout or X.ne != Y.ne:
         raise ValueError("mv_axpby needs same-layout, same-width multivectors")
     grid = X.grid
     dedup = X.aliased and Y.aliased and not X.is_phantom
+    if out is not None and (
+        not dedup or out.is_phantom or not out.aliased
+        or out.layout != X.layout or out.ne != X.ne
+    ):
+        out = None
+    if dedup and (out is not None or executor.kernel_workers() > 1):
+        # decoupled: charge every rank (seed order), then compute once
+        # per replication group
+        for i in range(grid.p):
+            for j in range(grid.q):
+                grid.rank_at(i, j).k.axpby(
+                    alpha, X.blocks[(i, j)], beta, Y.blocks[(i, j)], compute=False
+                )
+        roots = X.unique_keys()
+        results = executor.run_kernels(
+            [
+                lambda key=key: axpby_numeric(
+                    alpha,
+                    X.blocks[key],
+                    beta,
+                    Y.blocks[key],
+                    out=out.blocks[key] if out is not None else None,
+                )
+                for key in roots
+            ]
+        )
+        by_root = dict(zip(roots, results))
+        blocks = {
+            key: by_root[X.rep_root(*key)] for key in X.blocks
+        }
+        return DistributedMultiVector(
+            grid, X.index_map, X.layout, X.ne, blocks, X.dtype, aliased=True
+        )
     blocks = {}
     for i in range(grid.p):
         for j in range(grid.q):
@@ -59,6 +102,52 @@ def mv_axpby(
     )
 
 
+class FilterWorkspace:
+    """Ping-pong output buffers for the filter's three-term recurrence.
+
+    Without a workspace every ``DistributedHemm.apply`` and every
+    ``mv_axpby`` of the recurrence allocates a fresh multivector —
+    thousands of large allocations per solve.  The workspace holds two
+    stacked aliased buffers per layout (see
+    ``DistributedMultiVector.zeros_stacked``) and hands them out
+    alternately: at any recurrence step the flip target is never one of
+    the two live iterates (``X_prev`` lives two steps back, ``X_cur``
+    one), so each apply can safely overwrite the buffer.  Buffers are
+    created at the first requested width (the widest — active widths
+    shrink monotonically as columns retire/lock) and narrowed by column
+    views afterwards.  Dedup mode only; the charge-only (phantom) path
+    never sees a workspace.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, list[DistributedMultiVector]] = {}
+        self._flip: dict[str, int] = {}
+
+    def out_view(self, H, layout: str, width: int, dtype) -> DistributedMultiVector:
+        """The next ping-pong buffer for ``layout``, viewed to ``width``."""
+        index_map = H.colmap if layout == "B" else H.rowmap
+        pair = self._buffers.get(layout)
+        if (
+            pair is None
+            or pair[0].ne < width
+            or pair[0].dtype != np.dtype(dtype)
+            or pair[0].index_map is not index_map
+            or pair[0].grid is not H.grid
+        ):
+            pair = [
+                DistributedMultiVector.zeros_stacked(
+                    H.grid, index_map, layout, width, dtype
+                )
+                for _ in range(2)
+            ]
+            self._buffers[layout] = pair
+            self._flip[layout] = 0
+        idx = self._flip[layout]
+        self._flip[layout] = 1 - idx
+        buf = pair[idx]
+        return buf if buf.ne == width else buf.view_cols(0, width)
+
+
 def chebyshev_filter(
     hemm: DistributedHemm,
     C: DistributedMultiVector,
@@ -67,12 +156,18 @@ def chebyshev_filter(
     c: float,
     e: float,
     mu1: float,
+    workspace: FilterWorkspace | None = None,
 ) -> int:
     """Filter ``C[:, locked:]`` in place; returns MatVecs performed.
 
     ``degrees`` covers the active columns (length ``ne - locked``), must
     be even, >= 2, and sorted ascending (see
     :func:`repro.core.degrees.sort_by_degree`).
+
+    ``workspace`` (dedup mode only, ignored otherwise) supplies the
+    recurrence's ping-pong output buffers so the per-step applies and
+    axpbys reuse storage across steps — and across filter calls when
+    the caller keeps the workspace alive (``ChaseSolver.solve`` does).
     """
     degrees = np.asarray(degrees, dtype=np.int64)
     n_active = C.ne - locked
@@ -93,16 +188,29 @@ def chebyshev_filter(
     max_deg = int(degrees[-1])
     retired = 0  # columns already written back
 
+    ws = workspace if (C.aliased and not C.is_phantom) else None
+
+    def out_for(layout: str, width: int):
+        if ws is None:
+            return None
+        return ws.out_view(hemm.H, layout, width, C.dtype)
+
     sigma1 = e / (mu1 - c)
     sigma = sigma1
 
     X_prev = C.view_cols(locked, C.ne)  # X_0, layout "C"
-    X_cur = hemm.apply(X_prev, alpha=sigma1 / e, gamma=c)  # X_1, layout "B"
+    X_cur = hemm.apply(
+        X_prev, alpha=sigma1 / e, gamma=c, out=out_for("B", n_active)
+    )  # X_1, layout "B"
 
     for t in range(2, max_deg + 1):
         sigma_new = 1.0 / (2.0 / sigma1 - sigma)
-        W = hemm.apply(X_cur, alpha=2.0 * sigma_new / e, gamma=c)
-        X_next = mv_axpby(1.0, W, -sigma * sigma_new, X_prev)
+        W = hemm.apply(
+            X_cur, alpha=2.0 * sigma_new / e, gamma=c,
+            out=out_for(X_prev.layout, X_cur.ne),
+        )
+        X_next = mv_axpby(1.0, W, -sigma * sigma_new, X_prev,
+                          out=W if ws is not None else None)
         sigma = sigma_new
         X_prev, X_cur = X_cur, X_next
 

@@ -15,8 +15,11 @@ Implements the paper's data decomposition (Sec. 2.2 / 3.1):
 from repro.distributed.block import BlockMap1D, BlockCyclicMap1D, overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.replication import (
+    hemm_fusion,
+    hemm_fusion_enabled,
     numeric_dedup,
     numeric_dedup_enabled,
+    set_hemm_fusion,
     set_numeric_dedup,
 )
 from repro.distributed.multivector import DistributedMultiVector
@@ -35,4 +38,7 @@ __all__ = [
     "numeric_dedup",
     "numeric_dedup_enabled",
     "set_numeric_dedup",
+    "hemm_fusion",
+    "hemm_fusion_enabled",
+    "set_hemm_fusion",
 ]

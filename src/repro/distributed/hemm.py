@@ -13,6 +13,35 @@ Both directions optionally apply the spectral shift
 ``alpha (H - gamma I) X`` needed by the filter; the diagonal term is
 applied exactly once per global row via the row/column segment overlap.
 
+Execution tiers (all charge-identical; DESIGN.md §5b/§5c):
+
+* **seed** — one charged GEMM per grid block, partials allreduced
+  blockwise.  The only tier for non-aliased or phantom inputs.
+* **decoupled** — aliased inputs with an ``out`` buffer or kernel
+  workers > 1: the per-rank modeled charges are issued first on the
+  main thread (``compute=False``, exact seed order), then the same
+  per-block arithmetic runs as pure closures through
+  ``repro.runtime.executor``, writing root results into preallocated
+  storage.  Bit-identical numerics to the seed tier.
+* **fused** (``repro.distributed.replication.hemm_fusion``) — the
+  paper's fewer-larger-operations playbook applied to the simulator
+  host: per grid row ``i`` the C->B direction computes all ``q``
+  partial products with **one** GEMM against the cached horizontally
+  stacked panel ``[H_i0 | ... | H_i,q-1]`` (its elementwise conjugate
+  for complex dtypes), and the B->C direction contracts the vertically
+  stacked ``[B_0; ...; B_q-1]`` in one GEMM whose k-dimension folds the
+  q-term reduction sum — the row allreduces then only charge the model
+  (``compute=False``), their host-side summation work is gone.  The
+  ``gamma``-shift and ``alpha``-scale are applied on the fused panel.
+  C->B keeps the contraction order of the seed path (row panels only
+  widen the GEMM's m-dimension) and B->C reorders the reduction sum
+  into the k-loop; both match the seed to rounding
+  (``<= 1e-13 * ||H||``, asserted by ``tests/test_fused_hemm.py``).
+  Even C->B is not bit-exact: BLAS tiles the wider fused m-dimension
+  with different SIMD tail kernels at block-boundary rows, perturbing
+  the last ulp.  When bit-identity matters (regression oracles), use
+  the decoupled tier — it is exactly the seed arithmetic.
+
 The per-rank GEMMs are *unique* work — the ``p*q`` partial products sum
 to exactly the global ``2 N^2 w`` flops — so nothing is deduplicated
 there.  What replication-aware execution removes is the post-allreduce
@@ -23,18 +52,22 @@ For complex dtypes the conjugated ``H`` blocks needed by the C->B
 direction are additionally cached (``H_ij.conj()`` is a full copy per
 call for complex arrays, a no-copy view for real ones); the cached
 array has the exact memory layout of the per-call temporary, keeping
-the GEMM results bit-identical.
+the GEMM results bit-identical.  All derived caches (conjugates, fused
+panels, overlap pairs) are keyed off ``H.version`` and rebuilt when
+local blocks are replaced via ``DistributedHermitian.replace_local``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.arrays import is_phantom
+from repro.arrays import PhantomArray, is_phantom
 from repro.distributed import replication
 from repro.distributed.block import overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.multivector import DistributedMultiVector
+from repro.runtime import executor
+from repro.runtime.device import axpy_into_numeric
 
 __all__ = ["DistributedHemm"]
 
@@ -47,6 +80,33 @@ class DistributedHemm:
         self.grid = H.grid
         self.matvecs = 0  # cumulative single-vector H-applications
         self._hconj: dict[tuple[int, int], np.ndarray] = {}
+        self._panels: dict[int, np.ndarray] = {}
+        self._panels_conj: dict[int, np.ndarray] = {}
+        #: overlap_pairs is a pure function of the (immutable) index
+        #: maps, so this cache needs no version key
+        self._overlaps: dict[tuple[int, int], list] = {}
+        self._offsets: list[int] | None = None
+        #: per-key reusable workspace of the decoupled tiers (partial
+        #: products and the stacked-B operand; never escapes an apply)
+        self._scratch: dict[tuple, np.ndarray] = {}
+        self._cache_version = H.version
+
+    # -- caches -----------------------------------------------------------------
+    def _sync_caches(self) -> None:
+        """Drop derived-array caches when ``H`` blocks were replaced."""
+        if self._cache_version != self.H.version:
+            self._hconj.clear()
+            self._panels.clear()
+            self._panels_conj.clear()
+            self._cache_version = self.H.version
+
+    def _pairs(self, i: int, j: int) -> list:
+        """Cached ``overlap_pairs(H.rowmap, i, H.colmap, j)``."""
+        pairs = self._overlaps.get((i, j))
+        if pairs is None:
+            pairs = overlap_pairs(self.H.rowmap, i, self.H.colmap, j)
+            self._overlaps[(i, j)] = pairs
+        return pairs
 
     def _h_conj(self, i: int, j: int):
         """``H.local(i, j).conj()``, cached for complex numeric blocks.
@@ -68,6 +128,44 @@ class DistributedHemm:
             self._hconj[(i, j)] = cached
         return cached
 
+    def _stack_offsets(self) -> list[int]:
+        """Cumulative colmap local sizes: row offsets of the stacked
+        panels/operands (part ``j`` occupies ``[offs[j], offs[j+1])``)."""
+        if self._offsets is None:
+            offs = [0]
+            for j in range(self.grid.q):
+                offs.append(offs[-1] + self.H.colmap.local_size(j))
+            self._offsets = offs
+        return self._offsets
+
+    def _row_panel(self, i: int) -> np.ndarray:
+        """``[H_i0 | ... | H_i,q-1]`` — the grid row's blocks, stacked."""
+        P = self._panels.get(i)
+        if P is None:
+            P = np.hstack(
+                [np.asarray(self.H.local(i, j)) for j in range(self.grid.q)]
+            )
+            self._panels[i] = P
+        return P
+
+    def _row_panel_conj(self, i: int) -> np.ndarray:
+        """Elementwise conjugate of the fused row panel (complex C->B)."""
+        if np.dtype(self.H.dtype).kind != "c":
+            return self._row_panel(i)
+        P = self._panels_conj.get(i)
+        if P is None:
+            P = self._row_panel(i).conj()
+            self._panels_conj[i] = P
+        return P
+
+    def _scratch_arr(self, key: tuple, shape: tuple, dtype) -> np.ndarray:
+        arr = self._scratch.get(key)
+        if arr is None or arr.shape != shape or arr.dtype != dtype:
+            arr = np.empty(shape, dtype=dtype)
+            self._scratch[key] = arr
+        return arr
+
+    # -- entry point -------------------------------------------------------------
     def apply(
         self,
         X: DistributedMultiVector,
@@ -75,14 +173,20 @@ class DistributedHemm:
         *,
         alpha: float = 1.0,
         gamma: float = 0.0,
+        out: DistributedMultiVector | None = None,
     ) -> DistributedMultiVector:
         """``alpha (H - gamma I) X[:, cols]`` in the *opposite* layout.
 
         Returns a new multivector of width ``stop - start`` whose layout
-        is ``"B"`` when ``X`` is ``"C"`` and vice versa.
+        is ``"B"`` when ``X`` is ``"C"`` and vice versa.  ``out`` is an
+        optional preallocated aliased multivector of the result's
+        layout/width whose storage receives the result (dedup mode
+        only; the returned multivector aliases it).  Incompatible
+        ``out`` buffers are ignored.
         """
         grid = self.grid
         H = self.H
+        self._sync_caches()
         cols = cols if cols is not None else slice(0, X.ne)
         width = (cols.stop if cols.stop is not None else X.ne) - (cols.start or 0)
         if width <= 0:
@@ -92,8 +196,18 @@ class DistributedHemm:
         to_b = X.layout == "C"
         out_map = H.colmap if to_b else H.rowmap
         out_layout = "B" if to_b else "C"
-        contrib: dict[tuple[int, int], object] = {}
 
+        dedup = X.aliased and not X.is_phantom
+        numeric_h = not is_phantom(H.local(0, 0))
+        fused = dedup and numeric_h and replication.hemm_fusion_enabled()
+        if dedup and numeric_h and (
+            fused or out is not None or executor.kernel_workers() > 1
+        ):
+            return self._apply_decoupled(
+                X, cols, width, to_b, alpha, gamma, out, fused
+            )
+
+        contrib: dict[tuple[int, int], object] = {}
         for i in range(grid.p):
             for j in range(grid.q):
                 rank = grid.rank_at(i, j)
@@ -113,8 +227,7 @@ class DistributedHemm:
                 else:
                     W = rank.k.gemm(Hij, Xcols, op_a="N", kind="hemm")
                 if gamma != 0.0:
-                    pairs = overlap_pairs(H.rowmap, i, H.colmap, j)
-                    for rsl, csl in pairs:
+                    for rsl, csl in self._pairs(i, j):
                         if to_b:
                             rank.k.axpy_into(W, csl, Xcols, rsl, -gamma)
                         else:
@@ -126,7 +239,6 @@ class DistributedHemm:
         # reduction: sum the partial products across the distributed axis.
         # With an aliased (dedup) input the result is summed once per
         # communicator and the shared ndarray aliased into every replica.
-        dedup = X.aliased and not X.is_phantom
         if to_b:
             for j in range(grid.q):
                 comm = grid.col_comm(j)
@@ -150,3 +262,246 @@ class DistributedHemm:
         return DistributedMultiVector(
             grid, out_map, out_layout, width, contrib, dtype, aliased=dedup
         )
+
+    # -- decoupled charge / numeric execution -------------------------------------
+    def _usable_out(self, out, out_layout, out_map, width, rdtype):
+        """``out`` when it can receive the result, else ``None``."""
+        if out is None or out.is_phantom or not out.aliased:
+            return None
+        if (
+            out.layout != out_layout
+            or out.ne != width
+            or out.dtype != rdtype
+            or out.index_map is not out_map
+            or out.grid is not self.grid
+        ):
+            return None
+        return out
+
+    def _apply_decoupled(self, X, cols, width, to_b, alpha, gamma, out, fused):
+        """Charge-first, compute-second execution of an aliased apply.
+
+        Pass 1 issues, on the main thread and in the exact seed order,
+        every per-rank modeled charge (GEMM, overlap AXPYs, scale) with
+        ``compute=False`` — phantom shape proxies stand in for result
+        arrays that do not exist yet.  Pass 2 runs the pure numeric
+        closures (optionally fused, optionally on the worker pool) and
+        the reductions.  Clocks, tracer and CommStats therefore see the
+        byte-identical sequence of every other tier.
+        """
+        grid, H = self.grid, self.H
+        p, q = grid.p, grid.q
+        rdtype = np.result_type(H.dtype, X.dtype)
+        out_map = H.colmap if to_b else H.rowmap
+        out_layout = "B" if to_b else "C"
+        out = self._usable_out(out, out_layout, out_map, width, rdtype)
+
+        # ---- pass 1: modeled charges (seed order) ----
+        for i in range(p):
+            for j in range(q):
+                rank = grid.rank_at(i, j)
+                Hij = H.local(i, j)
+                Xb = X.local(i, j)[:, cols]
+                rank.k.gemm(
+                    Hij, Xb, op_a="C" if to_b else "N", kind="hemm", compute=False
+                )
+                rows = Hij.shape[1] if to_b else Hij.shape[0]
+                if gamma != 0.0:
+                    proxy = PhantomArray((rows, width), rdtype)
+                    for rsl, csl in self._pairs(i, j):
+                        if to_b:
+                            rank.k.axpy_into(proxy, csl, Xb, rsl, -gamma,
+                                             compute=False)
+                        else:
+                            rank.k.axpy_into(proxy, rsl, Xb, csl, -gamma,
+                                             compute=False)
+                if alpha != 1.0:
+                    rank.k.scale(
+                        PhantomArray((rows, width), rdtype), alpha, compute=False
+                    )
+
+        # ---- pass 2: numerics (closures) + reductions ----
+        if fused:
+            blocks, base = self._numeric_fused(
+                X, cols, width, to_b, alpha, gamma, out, rdtype
+            )
+        else:
+            blocks, base = self._numeric_per_block(
+                X, cols, width, to_b, alpha, gamma, out, rdtype
+            )
+        result = DistributedMultiVector(
+            grid, out_map, out_layout, width, blocks, rdtype, aliased=True
+        )
+        result.stacked_base = base
+        return result
+
+    def _numeric_fused(self, X, cols, width, to_b, alpha, gamma, out, rdtype):
+        """Fused-panel numerics: one GEMM per grid row."""
+        grid = self.grid
+        p, q = grid.p, grid.q
+        offs = self._stack_offsets()
+
+        if to_b:
+            # C -> B: per row i one (sum n_c) x width panel of all q
+            # partial products; the column allreduces then sum the
+            # panel row-slices exactly as the seed path sums W_ij.
+            base = None
+            if out is not None and out.stacked_base is not None \
+                    and out.stacked_base.shape == (offs[-1], width) \
+                    and out.stacked_base.dtype == rdtype:
+                base = out.stacked_base
+            closures = []
+            panels = []
+            for i in range(p):
+                P = self._row_panel_conj(i)
+                Xb = X.local(i, 0)[:, cols]
+                if i == 0:
+                    tgt = base if base is not None \
+                        else np.empty((offs[-1], width), rdtype)
+                else:
+                    tgt = self._scratch_arr(("cb", i), (offs[-1], width), rdtype)
+                pairs_i = (
+                    [(j, self._pairs(i, j)) for j in range(q)]
+                    if gamma != 0.0 else None
+                )
+
+                def run(P=P, Xb=Xb, tgt=tgt, pairs_i=pairs_i):
+                    np.matmul(P.T, Xb, out=tgt)
+                    if pairs_i is not None:
+                        for j, prs in pairs_i:
+                            for rsl, csl in prs:
+                                wsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
+                                axpy_into_numeric(tgt, wsl, Xb, rsl, -gamma)
+                    if alpha != 1.0:
+                        tgt *= alpha
+                    return tgt
+
+                closures.append(run)
+                panels.append(tgt)
+            executor.run_kernels(closures)
+
+            roots = {}
+            for j in range(q):
+                bufs = [panels[i][offs[j]:offs[j + 1]] for i in range(p)]
+                res = grid.col_comm(j).allreduce(bufs, shared=True)
+                roots[j] = res[0]
+            if out is not None and base is None:
+                # out exists but is not slice-contiguous: land the
+                # summed slices in its storage
+                for j in range(q):
+                    out.blocks[(0, j)][...] = roots[j]
+                    roots[j] = out.blocks[(0, j)]
+            blocks = {(i, j): roots[j] for i in range(p) for j in range(q)}
+            return blocks, base
+
+        # B -> C: stack the q unique input blocks once, contract them
+        # with the cached row panel in one GEMM per row — the reduction
+        # sum lives in the GEMM's k-dimension, so the row allreduces
+        # only charge the model.
+        Bstack = self._scratch_arr(("bstack",), (offs[-1], width), rdtype)
+        for j in range(q):
+            Bstack[offs[j]:offs[j + 1], :] = X.local(0, j)[:, cols]
+        closures = []
+        tgts = []
+        for i in range(p):
+            P = self._row_panel(i)
+            if out is not None:
+                tgt = out.blocks[(i, 0)]
+            else:
+                tgt = np.empty((P.shape[0], width), rdtype)
+            pairs_i = (
+                [(j, self._pairs(i, j)) for j in range(q)]
+                if gamma != 0.0 else None
+            )
+
+            def run(P=P, tgt=tgt, pairs_i=pairs_i):
+                np.matmul(P, Bstack, out=tgt)
+                if pairs_i is not None:
+                    for j, prs in pairs_i:
+                        for rsl, csl in prs:
+                            xsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
+                            axpy_into_numeric(tgt, rsl, Bstack, xsl, -gamma)
+                if alpha != 1.0:
+                    tgt *= alpha
+                return tgt
+
+            closures.append(run)
+            tgts.append(tgt)
+        executor.run_kernels(closures)
+
+        for i in range(p):
+            grid.row_comm(i).allreduce([tgts[i]] * q, compute=False)
+        blocks = {(i, j): tgts[i] for i in range(p) for j in range(q)}
+        base = out.stacked_base if out is not None else None
+        return blocks, base
+
+    def _numeric_per_block(self, X, cols, width, to_b, alpha, gamma, out, rdtype):
+        """Seed-granularity numerics as executor closures.
+
+        One closure per grid block, arithmetic identical to the seed
+        tier (same operands, same operation order), root targets landing
+        in ``out``'s storage when provided.  Used when fusion is off but
+        an ``out`` buffer or a worker pool is in play.
+        """
+        grid, H = self.grid, self.H
+        p, q = grid.p, grid.q
+        complex_h = np.dtype(H.dtype).kind == "c"
+        closures = []
+        partials = {}
+        for i in range(p):
+            for j in range(q):
+                Hij = H.local(i, j)
+                Xb = X.local(i, j)[:, cols]
+                if to_b:
+                    # cached conj for complex (exact seed operand
+                    # layout); .T is a free view for real blocks
+                    Aop = self._h_conj(i, j).T if complex_h else Hij.T
+                    rows = Hij.shape[1]
+                    is_root = i == 0
+                    root = (0, j)
+                else:
+                    Aop = Hij
+                    rows = Hij.shape[0]
+                    is_root = j == 0
+                    root = (i, 0)
+                if is_root and out is not None:
+                    tgt = out.blocks[root]
+                elif is_root:
+                    tgt = np.empty((rows, width), rdtype)
+                else:
+                    tgt = self._scratch_arr(("pb", i, j), (rows, width), rdtype)
+                pairs = self._pairs(i, j) if gamma != 0.0 else None
+
+                def run(Aop=Aop, Xb=Xb, tgt=tgt, pairs=pairs, to_b=to_b):
+                    np.matmul(Aop, Xb, out=tgt)
+                    if pairs is not None:
+                        for rsl, csl in pairs:
+                            if to_b:
+                                axpy_into_numeric(tgt, csl, Xb, rsl, -gamma)
+                            else:
+                                axpy_into_numeric(tgt, rsl, Xb, csl, -gamma)
+                    if alpha != 1.0:
+                        tgt *= alpha
+                    return tgt
+
+                closures.append(run)
+                partials[(i, j)] = tgt
+        executor.run_kernels(closures)
+
+        blocks = {}
+        if to_b:
+            for j in range(q):
+                res = grid.col_comm(j).allreduce(
+                    [partials[(i, j)] for i in range(p)], shared=True
+                )
+                for i in range(p):
+                    blocks[(i, j)] = res[0]
+        else:
+            for i in range(p):
+                res = grid.row_comm(i).allreduce(
+                    [partials[(i, j)] for j in range(q)], shared=True
+                )
+                for j in range(q):
+                    blocks[(i, j)] = res[0]
+        base = out.stacked_base if out is not None else None
+        return blocks, base

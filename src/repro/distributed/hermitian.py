@@ -36,6 +36,10 @@ class DistributedHermitian:
         self.colmap = colmap
         self.blocks = blocks  # dict[(i, j)] -> ndarray | PhantomArray
         self.dtype = np.dtype(dtype)
+        #: bumped by :meth:`replace_local`; consumers caching derived
+        #: arrays (conjugated blocks, fused row panels in
+        #: ``DistributedHemm``) key their caches off this counter
+        self.version = 0
 
     # -- constructors -----------------------------------------------------------
     @classmethod
@@ -87,6 +91,21 @@ class DistributedHermitian:
     # -- access ---------------------------------------------------------------------
     def local(self, i: int, j: int):
         return self.blocks[(i, j)]
+
+    def replace_local(self, i: int, j: int, block) -> None:
+        """Replace the local block of rank ``(i, j)`` and bump ``version``.
+
+        The only supported way to mutate ``H`` after construction —
+        in-place writes into a block bypass the version counter and can
+        leave stale derived caches behind.
+        """
+        old = self.blocks[(i, j)]
+        if tuple(block.shape) != tuple(old.shape):
+            raise ValueError(
+                f"block shape {tuple(block.shape)} != expected {tuple(old.shape)}"
+            )
+        self.blocks[(i, j)] = block
+        self.version += 1
 
     def n_r(self, i: int) -> int:
         return self.rowmap.local_size(i)

@@ -55,6 +55,10 @@ class DistributedMultiVector:
         self.dtype = np.dtype(dtype)
         #: replicas of one group share a single ndarray (numeric dedup)
         self.aliased = bool(aliased)
+        #: set by :meth:`zeros_stacked`: one contiguous array holding
+        #: every unique block as a consecutive row slice (fused HEMM
+        #: writes all partial products with a single GEMM into it)
+        self.stacked_base: np.ndarray | None = None
 
     # -- replication groups --------------------------------------------------------
     def rep_root(self, i: int, j: int) -> tuple[int, int]:
@@ -102,6 +106,35 @@ class DistributedMultiVector:
                 else:
                     blocks[(i, j)] = np.zeros((n_local, ne), dtype=dtype)
         return cls(grid, index_map, layout, ne, blocks, dtype, aliased=dedup)
+
+    @classmethod
+    def zeros_stacked(
+        cls, grid: Grid2D, index_map, layout: str, ne: int, dtype
+    ) -> "DistributedMultiVector":
+        """Aliased zeros whose unique blocks share one contiguous base.
+
+        The unique blocks are consecutive row slices of a single
+        ``(sum_of_local_sizes) x ne`` ndarray, stacked in part order
+        (the same order ``DistributedHemm`` stacks its fused row
+        panels), exposed as :attr:`stacked_base`.  Numeric dedup mode
+        only — the replicas alias their group root unconditionally.
+        """
+        parts = grid.p if layout == "C" else grid.q
+        sizes = [index_map.local_size(k) for k in range(parts)]
+        base = np.zeros((sum(sizes), ne), dtype=dtype)
+        roots = {}
+        off = 0
+        for k, sz in enumerate(sizes):
+            roots[k] = base[off : off + sz]
+            off += sz
+        blocks = {
+            (i, j): roots[i if layout == "C" else j]
+            for i in range(grid.p)
+            for j in range(grid.q)
+        }
+        mv = cls(grid, index_map, layout, ne, blocks, dtype, aliased=True)
+        mv.stacked_base = base
+        return mv
 
     @classmethod
     def from_global(
@@ -192,7 +225,7 @@ class DistributedMultiVector:
                     blocks[key] = blocks[root]
                     continue
             blocks[key] = blk.cols(start, stop) if is_phantom(blk) else blk[:, start:stop]
-        return DistributedMultiVector(
+        view = DistributedMultiVector(
             self.grid,
             self.index_map,
             self.layout,
@@ -201,6 +234,9 @@ class DistributedMultiVector:
             self.dtype,
             aliased=self.aliased,
         )
+        if self.stacked_base is not None:
+            view.stacked_base = self.stacked_base[:, start:stop]
+        return view
 
     def write_into(self, target: "DistributedMultiVector", start: int) -> None:
         """``target[:, start:start+self.ne] = self`` blockwise (no comm).
@@ -237,6 +273,9 @@ class DistributedMultiVector:
         perm = np.asarray(perm)
         if perm.shape != (self.ne,):
             raise ValueError("permutation length must equal ne")
+        # block storage is re-materialized below; the blocks no longer
+        # tile one contiguous base afterwards
+        self.stacked_base = None
         if self.aliased:
             for root in self.unique_keys():
                 new = np.ascontiguousarray(self.blocks[root][:, perm])

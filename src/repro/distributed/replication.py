@@ -26,10 +26,54 @@ to the seed behaviour byte for byte.
 from __future__ import annotations
 
 import contextlib
+import os
 
-__all__ = ["numeric_dedup_enabled", "set_numeric_dedup", "numeric_dedup"]
+__all__ = [
+    "numeric_dedup_enabled",
+    "set_numeric_dedup",
+    "numeric_dedup",
+    "hemm_fusion_enabled",
+    "set_hemm_fusion",
+    "hemm_fusion",
+]
 
 _ENABLED = True
+
+
+def _fusion_from_env() -> bool:
+    raw = os.environ.get("REPRO_HEMM_FUSION", "").strip().lower()
+    return raw in ("1", "true", "on", "yes")
+
+
+#: Panel-fused HEMM (DESIGN.md §5c).  Off by default: the C->B fused
+#: direction is bit-identical to the seed path, but the B->C direction
+#: folds the q-term reduction into the GEMM k-dimension, which reorders
+#: the floating-point sum — full solves then match the seed only to
+#: rounding, so the exact-reproduction default stays off.
+_FUSION = _fusion_from_env()
+
+
+def hemm_fusion_enabled() -> bool:
+    """Whether aliased HEMM applies run on the fused-panel tier."""
+    return _FUSION
+
+
+def set_hemm_fusion(enabled: bool) -> bool:
+    """Set the global fusion switch; returns the previous value."""
+    global _FUSION
+    prev = _FUSION
+    _FUSION = bool(enabled)
+    return prev
+
+
+@contextlib.contextmanager
+def hemm_fusion(enabled: bool):
+    """Context manager scoping the fusion switch (benchmarks/tests)."""
+    prev = set_hemm_fusion(enabled)
+    try:
+        yield
+    finally:
+        set_hemm_fusion(prev)
 
 
 def numeric_dedup_enabled() -> bool:

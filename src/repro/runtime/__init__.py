@@ -22,6 +22,12 @@ from repro.runtime.device import LocalKernels
 from repro.runtime.rank import RankContext
 from repro.runtime.cluster import VirtualCluster
 from repro.runtime.communicator import Communicator
+from repro.runtime.executor import (
+    kernel_worker_scope,
+    kernel_workers,
+    run_kernels,
+    set_kernel_workers,
+)
 from repro.runtime.grid import Grid2D, squarest_grid
 from repro.runtime.timeline import Timeline, TimelineEvent
 
@@ -37,6 +43,10 @@ __all__ = [
     "Communicator",
     "Grid2D",
     "squarest_grid",
+    "kernel_workers",
+    "set_kernel_workers",
+    "kernel_worker_scope",
+    "run_kernels",
     "Timeline",
     "TimelineEvent",
 ]

@@ -50,6 +50,15 @@ class CommStats:
         self.messages += messages
         self.bytes_moved += nbytes * p
 
+    def as_tuple(self) -> tuple[int, int, float]:
+        """``(collectives, messages, bytes_moved)`` — comparable snapshot.
+
+        The execution-mode invariant (DESIGN.md §5b/§5c) is asserted by
+        comparing these tuples across runs: every mode must issue the
+        identical collective sequence.
+        """
+        return (self.collectives, self.messages, self.bytes_moved)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CommStats(collectives={self.collectives}, "

@@ -39,11 +39,73 @@ from repro.perfmodel.kernels import (
     trsm_flops,
 )
 
-__all__ = ["LocalKernels"]
+__all__ = [
+    "LocalKernels",
+    "gemm_numeric",
+    "syrk_numeric",
+    "trsm_numeric",
+    "axpby_numeric",
+    "axpy_into_numeric",
+]
 
 
 def _any_phantom(*xs) -> bool:
     return any(is_phantom(x) for x in xs)
+
+
+# -- pure numeric kernels ----------------------------------------------------------
+# The arithmetic of the charged kernels, factored out so the decoupled
+# charge/compute paths (``repro.distributed.hemm``, ``repro.core.qr``)
+# can hand the *exact same* operations to ``repro.runtime.executor`` as
+# closures.  No charging, no phantom handling — ndarrays only.  The
+# optional ``out`` writes into preallocated storage; ``np.matmul`` with
+# ``out=`` produces the same bits as ``@`` (same BLAS call, caller
+# supplies the result buffer).
+
+def gemm_numeric(A, B, *, op_a: str = "N", alpha: float = 1.0, out=None):
+    """``alpha * op(A) @ B`` — the numeric core of :meth:`LocalKernels.gemm`."""
+    Aop = A if op_a == "N" else (A.T if op_a == "T" else A.conj().T)
+    if out is None:
+        out = Aop @ B
+    else:
+        np.matmul(Aop, B, out=out)
+    if alpha != 1.0:
+        out *= alpha
+    return out
+
+
+def syrk_numeric(X):
+    """``X^H X`` symmetrized — the numeric core of :meth:`LocalKernels.syrk`."""
+    G = X.conj().T @ X
+    # enforce exact Hermitian symmetry (SYRK only writes one triangle)
+    return 0.5 * (G + G.conj().T)
+
+
+def trsm_numeric(X, R):
+    """``X R^{-1}`` — the numeric core of :meth:`LocalKernels.trsm`."""
+    # Y R = X  =>  R^T Y^T = X^T (plain transpose, also valid for complex)
+    Yt = scipy.linalg.solve_triangular(R.T, X.T, lower=True)
+    return np.ascontiguousarray(Yt.T)
+
+
+def axpby_numeric(alpha, X, beta, Y, out=None):
+    """``alpha*X + beta*Y`` — the numeric core of :meth:`LocalKernels.axpby`.
+
+    With ``out`` the combination lands in preallocated storage (``out``
+    may alias ``X`` but must not alias ``Y``); the intermediate
+    roundings match the expression form, so the bits are unchanged.
+    """
+    if out is None:
+        return alpha * X + beta * Y
+    np.multiply(X, alpha, out=out)
+    out += beta * Y
+    return out
+
+
+def axpy_into_numeric(W, wrows: slice, X, xrows: slice, alpha: float):
+    """``W[wrows, :] += alpha * X[xrows, :]`` — core of :meth:`LocalKernels.axpy_into`."""
+    W[wrows, :] += alpha * X[xrows, :]
+    return W
 
 
 class LocalKernels:
@@ -86,11 +148,7 @@ class LocalKernels:
             return None
         if _any_phantom(A, B):
             return PhantomArray((am, bn), dtype)
-        Aop = A if op_a == "N" else (A.T if op_a == "T" else A.conj().T)
-        out = Aop @ B
-        if alpha != 1.0:
-            out *= alpha
-        return out
+        return gemm_numeric(A, B, op_a=op_a, alpha=alpha)
 
     def hemm(self, H, X, *, op_h: str = "N", alpha: float = 1.0, compute: bool = True):
         """Hermitian matrix times a block of vectors (cuBLAS ZHEMM/DSYMM)."""
@@ -104,9 +162,7 @@ class LocalKernels:
             return None
         if is_phantom(X):
             return PhantomArray((n, n), X.dtype)
-        G = X.conj().T @ X
-        # enforce exact Hermitian symmetry (SYRK only writes one triangle)
-        return 0.5 * (G + G.conj().T)
+        return syrk_numeric(X)
 
     def trsm(self, X, R, *, compute: bool = True):
         """``X <- X R^{-1}`` with ``R`` upper triangular (right-side TRSM)."""
@@ -118,9 +174,7 @@ class LocalKernels:
             return None
         if _any_phantom(X, R):
             return PhantomArray((m, n), np.result_type(X.dtype, R.dtype))
-        # Y R = X  =>  R^T Y^T = X^T (plain transpose, also valid for complex)
-        Yt = scipy.linalg.solve_triangular(R.T, X.T, lower=True)
-        return np.ascontiguousarray(Yt.T)
+        return trsm_numeric(X, R)
 
     # -- factorizations ---------------------------------------------------------
     def potrf(self, G, *, compute: bool = True):
@@ -182,13 +236,13 @@ class LocalKernels:
         if tuple(X.shape) != tuple(Y.shape):
             raise ValueError("axpby shape mismatch")
         dtype = np.result_type(X.dtype, Y.dtype)
-        nbytes = 3 * np.prod(X.shape) * np.dtype(dtype).itemsize
+        nbytes = 3 * X.size * np.dtype(dtype).itemsize
         self._blas1_charge(nbytes)
         if not compute:
             return None
         if _any_phantom(X, Y):
             return PhantomArray(tuple(X.shape), dtype)
-        return alpha * X + beta * Y
+        return axpby_numeric(alpha, X, beta, Y)
 
     def axpy_into(self, W, wrows: slice, X, xrows: slice, alpha: float, *, compute: bool = True):
         """``W[wrows, :] += alpha * X[xrows, :]`` (row-sliced AXPY).
@@ -204,8 +258,7 @@ class LocalKernels:
             return W
         if _any_phantom(W, X):
             return W
-        W[wrows, :] += alpha * X[xrows, :]
-        return W
+        return axpy_into_numeric(W, wrows, X, xrows, alpha)
 
     def scale(self, X, alpha: float, *, compute: bool = True):
         """``X *= alpha`` in place (real); phantom pass-through.
@@ -214,7 +267,7 @@ class LocalKernels:
         it for every replica slot sharing an already-scaled ndarray
         (aliased multivectors), else the shared block is scaled twice.
         """
-        nbytes = 2 * np.prod(X.shape) * np.dtype(X.dtype).itemsize
+        nbytes = 2 * X.size * X.itemsize
         self._blas1_charge(nbytes)
         if not compute:
             return X
@@ -225,7 +278,7 @@ class LocalKernels:
 
     def scale_columns(self, X, v, *, compute: bool = True):
         """``X * v[None, :]`` — per-column scaling."""
-        nbytes = 2 * np.prod(X.shape) * np.dtype(X.dtype).itemsize
+        nbytes = 2 * X.size * X.itemsize
         self._blas1_charge(nbytes)
         if not compute:
             return None
@@ -238,7 +291,7 @@ class LocalKernels:
         (Algorithm 2, line 22), batched as one device kernel."""
         if tuple(B.shape) != tuple(B2.shape):
             raise ValueError("shape mismatch")
-        nbytes = 3 * np.prod(B.shape) * np.dtype(B.dtype).itemsize
+        nbytes = 3 * B.size * B.itemsize
         self._blas1_charge(nbytes)
         if not compute:
             return None
@@ -248,7 +301,7 @@ class LocalKernels:
 
     def colnorms_sq(self, X, *, compute: bool = True):
         """Squared Euclidean norm of each column (batched DOT kernels)."""
-        nbytes = np.prod(X.shape) * np.dtype(X.dtype).itemsize
+        nbytes = X.size * X.itemsize
         self._blas1_charge(nbytes)
         if not compute:
             return None
@@ -260,7 +313,7 @@ class LocalKernels:
         """Per-column inner products ``diag(X^H Y)`` (batched DOT)."""
         if tuple(X.shape) != tuple(Y.shape):
             raise ValueError("dot_columns shape mismatch")
-        nbytes = 2 * np.prod(X.shape) * np.dtype(X.dtype).itemsize
+        nbytes = 2 * X.size * X.itemsize
         self._blas1_charge(nbytes)
         if not compute:
             return None
@@ -270,7 +323,7 @@ class LocalKernels:
 
     def frob_norm_sq(self, X, *, compute: bool = True):
         """Squared Frobenius norm (single fused reduction)."""
-        nbytes = np.prod(X.shape) * np.dtype(X.dtype).itemsize
+        nbytes = X.size * X.itemsize
         self._blas1_charge(nbytes)
         if not compute:
             return None

@@ -1,0 +1,181 @@
+"""Parallel execution of independent numeric kernel closures.
+
+Between two synchronization points (collectives), the per-rank kernels
+of the simulated cluster are *independent*: each unique block's GEMM /
+SYRK / TRSM touches only its own operands.  The seed path executes them
+sequentially in one host process; this module runs them on a thread
+pool instead.  NumPy releases the GIL inside BLAS/LAPACK calls, so the
+closures genuinely overlap on multi-core hosts.
+
+The executor deliberately knows nothing about the cost model.  Callers
+must charge all modeled time on the main thread *before* dispatching
+(the decoupled charge/compute pattern used by
+``repro.distributed.hemm`` and ``repro.core.qr``): the closures handed
+to :func:`run_kernels` are pure array math.  That split is what keeps
+modeled makespans, per-phase breakdowns and CommStats bit-identical
+for every worker count — the clocks and tracer are never touched off
+the main thread.
+
+Oversubscription guard: while worker threads run, the process BLAS
+threadpool is limited to one thread per call (via ``threadpoolctl``
+when available, else a best-effort ctypes call into OpenBLAS, else a
+no-op) so ``workers x blas_threads`` cannot exceed the host.
+
+The worker count is a global switch in the style of
+``repro.distributed.replication``: default 1 (serial — the exact seed
+execution), overridable via the ``REPRO_KERNEL_WORKERS`` environment
+variable or :func:`set_kernel_workers` / :func:`kernel_worker_scope`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import ctypes
+import ctypes.util
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "kernel_workers",
+    "set_kernel_workers",
+    "kernel_worker_scope",
+    "run_kernels",
+    "blas_thread_guard",
+]
+
+
+def _workers_from_env() -> int:
+    raw = os.environ.get("REPRO_KERNEL_WORKERS", "").strip()
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+_WORKERS = _workers_from_env()
+_POOL: ThreadPoolExecutor | None = None
+_POOL_SIZE = 0
+
+
+def kernel_workers() -> int:
+    """Current worker count (1 = serial seed execution)."""
+    return _WORKERS
+
+
+def set_kernel_workers(n: int) -> int:
+    """Set the global worker count; returns the previous value."""
+    global _WORKERS
+    prev = _WORKERS
+    _WORKERS = max(1, int(n))
+    return prev
+
+
+@contextlib.contextmanager
+def kernel_worker_scope(n: int):
+    """Context manager scoping the worker count (benchmarks/tests)."""
+    prev = set_kernel_workers(n)
+    try:
+        yield
+    finally:
+        set_kernel_workers(prev)
+
+
+def _pool(n: int) -> ThreadPoolExecutor:
+    """The shared pool, (re)built lazily when the worker count changes."""
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE != n:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ThreadPoolExecutor(max_workers=n, thread_name_prefix="repro-kernel")
+        _POOL_SIZE = n
+    return _POOL
+
+
+# -- BLAS threadpool guard ---------------------------------------------------------
+try:  # pragma: no cover - environment dependent
+    from threadpoolctl import threadpool_limits as _tp_limits
+except Exception:  # pragma: no cover
+    _tp_limits = None
+
+
+def _openblas_handles():
+    """Best-effort (set, get) thread-count handles into OpenBLAS."""
+    import numpy as np
+
+    candidates = []
+    libdir = os.path.join(os.path.dirname(np.__file__), "..", "numpy.libs")
+    if os.path.isdir(libdir):  # manylinux wheels vendor OpenBLAS here
+        for name in sorted(os.listdir(libdir)):
+            if "openblas" in name.lower():
+                candidates.append(os.path.join(libdir, name))
+    found = ctypes.util.find_library("openblas")
+    if found:
+        candidates.append(found)
+    for path in candidates:
+        try:
+            lib = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for suffix in ("", "64_"):
+            setter = getattr(lib, f"openblas_set_num_threads{suffix}", None)
+            getter = getattr(lib, f"openblas_get_num_threads{suffix}", None)
+            if setter is not None and getter is not None:
+                setter.argtypes = [ctypes.c_int]
+                setter.restype = None
+                getter.argtypes = []
+                getter.restype = ctypes.c_int
+                return setter, getter
+    return None
+
+
+_OPENBLAS: tuple | None = None
+_OPENBLAS_PROBED = False
+
+
+@contextlib.contextmanager
+def blas_thread_guard():
+    """Limit the BLAS threadpool to 1 thread for the scope's duration.
+
+    No-op when neither ``threadpoolctl`` nor an OpenBLAS handle is
+    available — acceptable because the guard only prevents
+    oversubscription, never affects results.
+    """
+    global _OPENBLAS, _OPENBLAS_PROBED
+    if _tp_limits is not None:
+        with _tp_limits(limits=1):
+            yield
+        return
+    if not _OPENBLAS_PROBED:
+        _OPENBLAS_PROBED = True
+        try:
+            _OPENBLAS = _openblas_handles()
+        except Exception:  # pragma: no cover - defensive
+            _OPENBLAS = None
+    if _OPENBLAS is None:
+        yield
+        return
+    setter, getter = _OPENBLAS
+    prev = int(getter())
+    setter(1)
+    try:
+        yield
+    finally:
+        setter(prev if prev > 0 else 1)
+
+
+def run_kernels(closures: Iterable[Callable[[], object]]) -> list:
+    """Run independent numeric closures; return their results in order.
+
+    Serial (plain loop, no pool, no guard) when the worker count is 1
+    or there is at most one closure — the exact seed execution.  With
+    workers the results are still returned in submission order
+    (``Executor.map``), and since every closure owns disjoint output
+    storage the results are bitwise independent of the worker count.
+    Exceptions propagate to the caller in either mode.
+    """
+    fns: Sequence[Callable[[], object]] = list(closures)
+    if _WORKERS <= 1 or len(fns) <= 1:
+        return [fn() for fn in fns]
+    with blas_thread_guard():
+        return list(_pool(_WORKERS).map(lambda fn: fn(), fns))

@@ -85,6 +85,16 @@ class Grid2D:
         """Communicator of grid column ``j`` (hosts C/C2 and the 1D QR)."""
         return self._col_comms[j]
 
+    def comm_stats(self) -> tuple:
+        """CommStats tuples of every row then column communicator.
+
+        One flat, order-stable tuple so benchmark/test code can assert
+        that two runs issued bit-identical collective traffic.
+        """
+        return tuple(
+            c.stats.as_tuple() for c in (*self._row_comms, *self._col_comms)
+        )
+
     def coords_of(self, rank: RankContext) -> tuple[int, int]:
         assert rank.coords is not None
         return rank.coords
