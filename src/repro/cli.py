@@ -21,7 +21,11 @@ import numpy as np
 
 from repro import ChaseConfig, ChaseSolver, ConvergenceTrace, chase_serial
 from repro.core.lanczos import SpectralBounds
-from repro.distributed import DistributedHermitian
+from repro.distributed import (
+    DistributedHermitian,
+    filter_pipeline,
+    filter_pipeline_chunks,
+)
 from repro.matrices import TABLE1, build_problem, uniform_matrix
 from repro.reporting import render_series, render_table
 from repro.runtime import CommBackend, Grid2D, VirtualCluster
@@ -49,9 +53,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.distributed:
         cluster = VirtualCluster(args.ranks, backend=_BACKENDS[args.backend])
         grid = Grid2D(cluster)
+        if args.overlap is not None:
+            grid.set_overlap_efficiency(args.overlap)
         Hd = DistributedHermitian.from_dense(grid, H)
-        res = ChaseSolver(grid, Hd, cfg).solve(rng=rng)
-        print(f"simulated {grid.p}x{grid.q} grid, backend={args.backend}")
+        with filter_pipeline(args.pipeline_filter, args.pipeline_chunks):
+            chunks = filter_pipeline_chunks()
+            res = ChaseSolver(grid, Hd, cfg).solve(rng=rng)
+        mode = (
+            f", pipelined filter ({chunks} chunks)"
+            if args.pipeline_filter else ""
+        )
+        print(f"simulated {grid.p}x{grid.q} grid, backend={args.backend}{mode}")
         print(f"modeled time-to-solution: {res.makespan:.4f} s")
     else:
         res = chase_serial(H, cfg, rng=rng)
@@ -239,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--ranks", type=int, default=4)
     s.add_argument("--backend", choices=sorted(_BACKENDS), default="nccl")
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--pipeline-filter", action="store_true",
+                   help="chunked nonblocking Chebyshev filter (DESIGN.md §5d)")
+    s.add_argument("--pipeline-chunks", type=int, default=None,
+                   help="column chunks per pipelined apply (default 4)")
+    s.add_argument("--overlap", type=float, default=None,
+                   help="nonblocking overlap efficiency in [0,1] "
+                        "(default: backend model's value)")
     s.set_defaults(func=_cmd_solve)
 
     s = sub.add_parser("suite", help="run the Table 1 suite")

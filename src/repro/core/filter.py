@@ -20,10 +20,27 @@ import numpy as np
 
 from repro.distributed.hemm import DistributedHemm
 from repro.distributed.multivector import DistributedMultiVector
+# re-exported here for discoverability: the pipeline toggles govern the
+# filter hot path (ISSUE/DESIGN.md §5d) even though they live with the
+# other execution-tier switches
+from repro.distributed.replication import (  # noqa: F401
+    filter_pipeline,
+    filter_pipeline_chunks,
+    filter_pipeline_enabled,
+    set_filter_pipeline,
+)
 from repro.runtime import executor
 from repro.runtime.device import axpby_numeric
 
-__all__ = ["chebyshev_filter", "mv_axpby", "FilterWorkspace"]
+__all__ = [
+    "chebyshev_filter",
+    "mv_axpby",
+    "FilterWorkspace",
+    "filter_pipeline",
+    "filter_pipeline_chunks",
+    "filter_pipeline_enabled",
+    "set_filter_pipeline",
+]
 
 
 def mv_axpby(
@@ -200,7 +217,8 @@ def chebyshev_filter(
 
     X_prev = C.view_cols(locked, C.ne)  # X_0, layout "C"
     X_cur = hemm.apply(
-        X_prev, alpha=sigma1 / e, gamma=c, out=out_for("B", n_active)
+        X_prev, alpha=sigma1 / e, gamma=c, out=out_for("B", n_active),
+        pipeline=True,
     )  # X_1, layout "B"
 
     for t in range(2, max_deg + 1):
@@ -208,6 +226,7 @@ def chebyshev_filter(
         W = hemm.apply(
             X_cur, alpha=2.0 * sigma_new / e, gamma=c,
             out=out_for(X_prev.layout, X_cur.ne),
+            pipeline=True,
         )
         X_next = mv_axpby(1.0, W, -sigma * sigma_new, X_prev,
                           out=W if ws is not None else None)

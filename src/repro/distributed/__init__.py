@@ -15,10 +15,14 @@ Implements the paper's data decomposition (Sec. 2.2 / 3.1):
 from repro.distributed.block import BlockMap1D, BlockCyclicMap1D, overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.replication import (
+    filter_pipeline,
+    filter_pipeline_chunks,
+    filter_pipeline_enabled,
     hemm_fusion,
     hemm_fusion_enabled,
     numeric_dedup,
     numeric_dedup_enabled,
+    set_filter_pipeline,
     set_hemm_fusion,
     set_numeric_dedup,
 )
@@ -41,4 +45,8 @@ __all__ = [
     "hemm_fusion",
     "hemm_fusion_enabled",
     "set_hemm_fusion",
+    "filter_pipeline",
+    "filter_pipeline_chunks",
+    "filter_pipeline_enabled",
+    "set_filter_pipeline",
 ]

@@ -61,15 +61,28 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.arrays import PhantomArray, is_phantom
+from repro.arrays import PhantomArray, is_phantom, nbytes_of
 from repro.distributed import replication
 from repro.distributed.block import overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.multivector import DistributedMultiVector
 from repro.runtime import executor
-from repro.runtime.device import axpy_into_numeric
+from repro.runtime.device import LocalKernels, axpy_into_numeric
 
 __all__ = ["DistributedHemm"]
+
+
+def _chunk_edges(width: int, n_chunks: int) -> list[int]:
+    """Split ``width`` columns into ``n_chunks`` near-equal chunks."""
+    n_chunks = max(1, min(n_chunks, width))
+    return [c * width // n_chunks for c in range(n_chunks + 1)]
+
+
+def _chunk_view(buf, sl: slice):
+    """Column-chunk view of a partial buffer (phantoms shape-sliced)."""
+    if is_phantom(buf):
+        return buf.cols(sl.start, sl.stop)
+    return buf[:, sl]
 
 
 class DistributedHemm:
@@ -89,6 +102,8 @@ class DistributedHemm:
         #: per-key reusable workspace of the decoupled tiers (partial
         #: products and the stacked-B operand; never escapes an apply)
         self._scratch: dict[tuple, np.ndarray] = {}
+        #: full-width per-rank apply times for the pipelined tier
+        self._apply_time_cache: dict[tuple, dict] = {}
         self._cache_version = H.version
 
     # -- caches -----------------------------------------------------------------
@@ -98,6 +113,7 @@ class DistributedHemm:
             self._hconj.clear()
             self._panels.clear()
             self._panels_conj.clear()
+            self._apply_time_cache.clear()
             self._cache_version = self.H.version
 
     def _pairs(self, i: int, j: int) -> list:
@@ -174,6 +190,7 @@ class DistributedHemm:
         alpha: float = 1.0,
         gamma: float = 0.0,
         out: DistributedMultiVector | None = None,
+        pipeline: bool = False,
     ) -> DistributedMultiVector:
         """``alpha (H - gamma I) X[:, cols]`` in the *opposite* layout.
 
@@ -183,6 +200,12 @@ class DistributedHemm:
         layout/width whose storage receives the result (dedup mode
         only; the returned multivector aliases it).  Incompatible
         ``out`` buffers are ignored.
+
+        ``pipeline=True`` marks the call as pipeline-eligible (the
+        Chebyshev filter hot path); when the global switch
+        ``repro.distributed.replication.filter_pipeline`` is also on,
+        the apply runs the chunked nonblocking tier
+        (:meth:`_apply_pipelined`, DESIGN.md §5d).
         """
         grid = self.grid
         H = self.H
@@ -200,6 +223,11 @@ class DistributedHemm:
         dedup = X.aliased and not X.is_phantom
         numeric_h = not is_phantom(H.local(0, 0))
         fused = dedup and numeric_h and replication.hemm_fusion_enabled()
+        if pipeline and replication.filter_pipeline_enabled() and width >= 2:
+            return self._apply_pipelined(
+                X, cols, width, to_b, alpha, gamma, out,
+                dedup and numeric_h, fused,
+            )
         if dedup and numeric_h and (
             fused or out is not None or executor.kernel_workers() > 1
         ):
@@ -342,62 +370,84 @@ class DistributedHemm:
         offs = self._stack_offsets()
 
         if to_b:
-            # C -> B: per row i one (sum n_c) x width panel of all q
-            # partial products; the column allreduces then sum the
-            # panel row-slices exactly as the seed path sums W_ij.
-            base = None
-            if out is not None and out.stacked_base is not None \
-                    and out.stacked_base.shape == (offs[-1], width) \
-                    and out.stacked_base.dtype == rdtype:
-                base = out.stacked_base
-            closures = []
-            panels = []
-            for i in range(p):
-                P = self._row_panel_conj(i)
-                Xb = X.local(i, 0)[:, cols]
-                if i == 0:
-                    tgt = base if base is not None \
-                        else np.empty((offs[-1], width), rdtype)
-                else:
-                    tgt = self._scratch_arr(("cb", i), (offs[-1], width), rdtype)
-                pairs_i = (
-                    [(j, self._pairs(i, j)) for j in range(q)]
-                    if gamma != 0.0 else None
-                )
-
-                def run(P=P, Xb=Xb, tgt=tgt, pairs_i=pairs_i):
-                    np.matmul(P.T, Xb, out=tgt)
-                    if pairs_i is not None:
-                        for j, prs in pairs_i:
-                            for rsl, csl in prs:
-                                wsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
-                                axpy_into_numeric(tgt, wsl, Xb, rsl, -gamma)
-                    if alpha != 1.0:
-                        tgt *= alpha
-                    return tgt
-
-                closures.append(run)
-                panels.append(tgt)
-            executor.run_kernels(closures)
-
+            panels, base = self._fused_cb_panels(
+                X, cols, width, alpha, gamma, out, rdtype
+            )
             roots = {}
             for j in range(q):
                 bufs = [panels[i][offs[j]:offs[j + 1]] for i in range(p)]
                 res = grid.col_comm(j).allreduce(bufs, shared=True)
                 roots[j] = res[0]
-            if out is not None and base is None:
-                # out exists but is not slice-contiguous: land the
-                # summed slices in its storage
-                for j in range(q):
-                    out.blocks[(0, j)][...] = roots[j]
-                    roots[j] = out.blocks[(0, j)]
-            blocks = {(i, j): roots[j] for i in range(p) for j in range(q)}
+            blocks = self._fused_cb_blocks(roots, base, out)
             return blocks, base
 
-        # B -> C: stack the q unique input blocks once, contract them
-        # with the cached row panel in one GEMM per row — the reduction
-        # sum lives in the GEMM's k-dimension, so the row allreduces
-        # only charge the model.
+        tgts = self._fused_bc_targets(X, cols, width, alpha, gamma, out, rdtype)
+        for i in range(p):
+            grid.row_comm(i).allreduce([tgts[i]] * q, compute=False)
+        blocks = {(i, j): tgts[i] for i in range(p) for j in range(q)}
+        base = out.stacked_base if out is not None else None
+        return blocks, base
+
+    def _fused_cb_panels(self, X, cols, width, alpha, gamma, out, rdtype):
+        """C -> B partial panels: per row ``i`` one ``(sum n_c) x width``
+        panel of all ``q`` partial products; the column allreduces then
+        sum the panel row-slices exactly as the seed path sums W_ij."""
+        p, q = self.grid.p, self.grid.q
+        offs = self._stack_offsets()
+        base = None
+        if out is not None and out.stacked_base is not None \
+                and out.stacked_base.shape == (offs[-1], width) \
+                and out.stacked_base.dtype == rdtype:
+            base = out.stacked_base
+        closures = []
+        panels = []
+        for i in range(p):
+            P = self._row_panel_conj(i)
+            Xb = X.local(i, 0)[:, cols]
+            if i == 0:
+                tgt = base if base is not None \
+                    else np.empty((offs[-1], width), rdtype)
+            else:
+                tgt = self._scratch_arr(("cb", i), (offs[-1], width), rdtype)
+            pairs_i = (
+                [(j, self._pairs(i, j)) for j in range(q)]
+                if gamma != 0.0 else None
+            )
+
+            def run(P=P, Xb=Xb, tgt=tgt, pairs_i=pairs_i):
+                np.matmul(P.T, Xb, out=tgt)
+                if pairs_i is not None:
+                    for j, prs in pairs_i:
+                        for rsl, csl in prs:
+                            wsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
+                            axpy_into_numeric(tgt, wsl, Xb, rsl, -gamma)
+                if alpha != 1.0:
+                    tgt *= alpha
+                return tgt
+
+            closures.append(run)
+            panels.append(tgt)
+        executor.run_kernels(closures)
+        return panels, base
+
+    def _fused_cb_blocks(self, roots, base, out):
+        """Assemble the C -> B result blocks from the summed row-slices."""
+        p, q = self.grid.p, self.grid.q
+        if out is not None and base is None:
+            # out exists but is not slice-contiguous: land the
+            # summed slices in its storage
+            for j in range(q):
+                out.blocks[(0, j)][...] = roots[j]
+                roots[j] = out.blocks[(0, j)]
+        return {(i, j): roots[j] for i in range(p) for j in range(q)}
+
+    def _fused_bc_targets(self, X, cols, width, alpha, gamma, out, rdtype):
+        """B -> C fused numerics: stack the q unique input blocks once,
+        contract them with the cached row panel in one GEMM per row —
+        the reduction sum lives in the GEMM's k-dimension, so the row
+        allreduces only charge the model."""
+        p, q = self.grid.p, self.grid.q
+        offs = self._stack_offsets()
         Bstack = self._scratch_arr(("bstack",), (offs[-1], width), rdtype)
         for j in range(q):
             Bstack[offs[j]:offs[j + 1], :] = X.local(0, j)[:, cols]
@@ -428,20 +478,18 @@ class DistributedHemm:
             closures.append(run)
             tgts.append(tgt)
         executor.run_kernels(closures)
+        return tgts
 
-        for i in range(p):
-            grid.row_comm(i).allreduce([tgts[i]] * q, compute=False)
-        blocks = {(i, j): tgts[i] for i in range(p) for j in range(q)}
-        base = out.stacked_base if out is not None else None
-        return blocks, base
-
-    def _numeric_per_block(self, X, cols, width, to_b, alpha, gamma, out, rdtype):
-        """Seed-granularity numerics as executor closures.
+    def _block_partials(self, X, cols, width, to_b, alpha, gamma, out, rdtype,
+                        *, persistent: bool = False):
+        """Seed-granularity partial products as executor closures.
 
         One closure per grid block, arithmetic identical to the seed
         tier (same operands, same operation order), root targets landing
-        in ``out``'s storage when provided.  Used when fusion is off but
-        an ``out`` buffer or a worker pool is in play.
+        in ``out``'s storage when provided.  ``persistent=True``
+        allocates every partial fresh (instead of recycling the scratch
+        workspace for non-roots) — required when the partials themselves
+        become the result blocks (non-aliased pipelined applies).
         """
         grid, H = self.grid, self.H
         p, q = grid.p, grid.q
@@ -453,9 +501,14 @@ class DistributedHemm:
                 Hij = H.local(i, j)
                 Xb = X.local(i, j)[:, cols]
                 if to_b:
-                    # cached conj for complex (exact seed operand
-                    # layout); .T is a free view for real blocks
-                    Aop = self._h_conj(i, j).T if complex_h else Hij.T
+                    if complex_h:
+                        # cached conj for complex (exact seed operand
+                        # layout); falls back to the per-call conj
+                        # temporary when the dedup switch is off
+                        Hc = self._h_conj(i, j)
+                        Aop = Hc.T if Hc is not None else Hij.conj().T
+                    else:
+                        Aop = Hij.T  # .T is a free view for real blocks
                     rows = Hij.shape[1]
                     is_root = i == 0
                     root = (0, j)
@@ -466,7 +519,7 @@ class DistributedHemm:
                     root = (i, 0)
                 if is_root and out is not None:
                     tgt = out.blocks[root]
-                elif is_root:
+                elif is_root or persistent:
                     tgt = np.empty((rows, width), rdtype)
                 else:
                     tgt = self._scratch_arr(("pb", i, j), (rows, width), rdtype)
@@ -487,6 +540,19 @@ class DistributedHemm:
                 closures.append(run)
                 partials[(i, j)] = tgt
         executor.run_kernels(closures)
+        return partials
+
+    def _numeric_per_block(self, X, cols, width, to_b, alpha, gamma, out, rdtype):
+        """Seed-granularity numerics (partials + shared reductions).
+
+        Used when fusion is off but an ``out`` buffer or a worker pool
+        is in play.
+        """
+        grid = self.grid
+        p, q = grid.p, grid.q
+        partials = self._block_partials(
+            X, cols, width, to_b, alpha, gamma, out, rdtype
+        )
 
         blocks = {}
         if to_b:
@@ -505,3 +571,204 @@ class DistributedHemm:
                     blocks[(i, j)] = res[0]
         base = out.stacked_base if out is not None else None
         return blocks, base
+
+    # -- pipelined (chunked nonblocking) execution -----------------------------------
+    def _apply_times(self, to_b, width, alpha, gamma, rdtype) -> dict:
+        """Per-rank full-width COMPUTE time of one apply, in model seconds.
+
+        Replays the seed tier's per-block charge sequence — GEMM,
+        overlap AXPYs, scale — into a capturing kernel set instead of
+        the rank clocks.  The pipelined tier then charges each chunk
+        the exact fraction ``chunk_width / width`` of this total: a
+        chunk-width GEMM would otherwise pay the launch overhead again
+        and run lower on the efficiency ramp, i.e. chunking itself
+        would inflate COMPUTE (the model assumes the chunked kernels
+        are stream-captured and amortize their launches).
+
+        Times are pre-slowdown (``RankContext.charge_compute`` applies
+        the straggler multiplier at charge time, as the blocking path
+        does) and cached per (direction, width, shift/scale presence).
+        """
+        key = (to_b, width, gamma != 0.0, alpha != 1.0, np.dtype(rdtype).str,
+               self.H.version)
+        cached = self._apply_time_cache.get(key)
+        if cached is not None:
+            return cached
+        grid, H = self.grid, self.H
+        times = {}
+        for i in range(grid.p):
+            for j in range(grid.q):
+                rank = grid.rank_at(i, j)
+                acc: list[float] = []
+                k = LocalKernels(rank.k.model, acc.append)
+                Hij = H.local(i, j)
+                xrows = Hij.shape[0] if to_b else Hij.shape[1]
+                rows = Hij.shape[1] if to_b else Hij.shape[0]
+                k.gemm(
+                    Hij, PhantomArray((xrows, width), rdtype),
+                    op_a="C" if to_b else "N", kind="hemm", compute=False,
+                )
+                if gamma != 0.0:
+                    proxy = PhantomArray((rows, width), rdtype)
+                    for rsl, csl in self._pairs(i, j):
+                        if to_b:
+                            k.axpy_into(proxy, csl, proxy, rsl, -gamma,
+                                        compute=False)
+                        else:
+                            k.axpy_into(proxy, rsl, proxy, csl, -gamma,
+                                        compute=False)
+                if alpha != 1.0:
+                    k.scale(PhantomArray((rows, width), rdtype), alpha,
+                            compute=False)
+                times[(i, j)] = sum(acc)
+        self._apply_time_cache[key] = times
+        return times
+
+    def _apply_pipelined(self, X, cols, width, to_b, alpha, gamma, out,
+                         dedup, fused):
+        """Chunked nonblocking execution of an apply (DESIGN.md §5d).
+
+        The width-wide block is split into
+        ``replication.filter_pipeline_chunks()`` column chunks.  Each
+        iteration charges chunk *k*'s HEMM compute, waits chunk *k-1*'s
+        allreduce — whose duration therefore hides behind chunk *k*'s
+        compute up to the communicator's overlap efficiency — and then
+        issues chunk *k*'s nonblocking allreduce (software pipeline of
+        depth one).  Every chunk charge (compute, collective duration,
+        host staging) is the exact fraction ``chunk_width / width`` of
+        the corresponding *blocking* full-width charge
+        (:meth:`_apply_times`): chunking redistributes the blocking
+        cost over time without inflating it, so the pipelined makespan
+        differs from blocking only by the overlap the model grants.
+
+        The numerics run at **full width** before the model loop, with
+        the active tier's exact arithmetic (chunk-width GEMMs would tile
+        differently in BLAS and perturb last-ulp bits); the chunked
+        reductions then sum real column-slice views with the blocking
+        accumulation order, so every element sees the identical
+        operation sequence and results are bit-identical to blocking
+        mode.  Chunk payloads sum exactly to the blocking byte count;
+        only the collective/message *counts* grow by the chunk factor.
+        """
+        grid, H = self.grid, self.H
+        p, q = grid.p, grid.q
+        rdtype = np.result_type(H.dtype, X.dtype)
+        out_map = H.colmap if to_b else H.rowmap
+        out_layout = "B" if to_b else "C"
+        phantom = X.is_phantom or is_phantom(H.local(0, 0))
+        out = self._usable_out(out, out_layout, out_map, width, rdtype)
+        offs = self._stack_offsets()
+
+        # ---- full-width numerics (uncharged; the model loop below charges) ----
+        base = None
+        blocks = None
+        if phantom:
+            blocks = {}
+            for i in range(p):
+                for j in range(q):
+                    Hij = H.local(i, j)
+                    rows = Hij.shape[1] if to_b else Hij.shape[0]
+                    blocks[(i, j)] = PhantomArray((rows, width), rdtype)
+            if to_b:
+                groups = [
+                    (grid.col_comm(j), [blocks[(i, j)] for i in range(p)],
+                     False, True)
+                    for j in range(q)
+                ]
+            else:
+                groups = [
+                    (grid.row_comm(i), [blocks[(i, j)] for j in range(q)],
+                     False, True)
+                    for i in range(p)
+                ]
+            aliased = False
+        elif fused and to_b:
+            panels, base = self._fused_cb_panels(
+                X, cols, width, alpha, gamma, out, rdtype
+            )
+            groups = [
+                (grid.col_comm(j),
+                 [panels[i][offs[j]:offs[j + 1]] for i in range(p)],
+                 True, True)
+                for j in range(q)
+            ]
+            aliased = True
+        elif fused:
+            tgts = self._fused_bc_targets(
+                X, cols, width, alpha, gamma, out, rdtype
+            )
+            groups = [
+                (grid.row_comm(i), [tgts[i]] * q, False, False)
+                for i in range(p)
+            ]
+            blocks = {(i, j): tgts[i] for i in range(p) for j in range(q)}
+            base = out.stacked_base if out is not None else None
+            aliased = True
+        else:
+            partials = self._block_partials(
+                X, cols, width, to_b, alpha, gamma,
+                out if dedup else None, rdtype, persistent=not dedup,
+            )
+            if to_b:
+                groups = [
+                    (grid.col_comm(j), [partials[(i, j)] for i in range(p)],
+                     dedup, True)
+                    for j in range(q)
+                ]
+            else:
+                groups = [
+                    (grid.row_comm(i), [partials[(i, j)] for j in range(q)],
+                     dedup, True)
+                    for i in range(p)
+                ]
+            if dedup:
+                blocks = {
+                    (i, j): partials[(0, j) if to_b else (i, 0)]
+                    for i in range(p) for j in range(q)
+                }
+                base = out.stacked_base if out is not None else None
+            else:
+                blocks = dict(partials)
+            aliased = dedup
+
+        # ---- chunked model loop: charge k, wait k-1, issue k ----
+        edges = _chunk_edges(width, replication.filter_pipeline_chunks())
+        times = self._apply_times(to_b, width, alpha, gamma, rdtype)
+        group_cost = []
+        for comm, bufs, _s, _c in groups:
+            nb_full = float(nbytes_of(bufs[0]))
+            d_full = comm.model.allreduce(nb_full, comm.size, comm.spans_nodes)
+            st_full = (comm.machine.pcie.time(nb_full)
+                       if comm.backend.stages_through_host else 0.0)
+            group_cost.append((d_full, st_full))
+        in_flight: list = []
+        for c in range(len(edges) - 1):
+            sl = slice(edges[c], edges[c + 1])
+            frac = (sl.stop - sl.start) / width
+            for key, t in times.items():
+                grid.rank_at(*key).charge_compute(t * frac)
+            for req in in_flight:
+                req.wait()
+            in_flight = [
+                comm.iallreduce(
+                    [_chunk_view(b, sl) for b in bufs],
+                    shared=shared, compute=compute,
+                    duration=d_full * frac,
+                    stage_seconds=(st_full * frac) if st_full > 0.0 else None,
+                )
+                for (comm, bufs, shared, compute), (d_full, st_full)
+                in zip(groups, group_cost)
+            ]
+        for req in in_flight:
+            req.wait()
+
+        if blocks is None:  # fused C -> B: assemble after the reduction
+            roots = {j: panels[0][offs[j]:offs[j + 1]] for j in range(q)}
+            blocks = self._fused_cb_blocks(roots, base, out)
+
+        result = DistributedMultiVector(
+            grid, out_map, out_layout, width, blocks, rdtype, aliased=aliased
+        )
+        if aliased:
+            result.stacked_base = base
+        return result

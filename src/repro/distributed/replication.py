@@ -35,6 +35,10 @@ __all__ = [
     "hemm_fusion_enabled",
     "set_hemm_fusion",
     "hemm_fusion",
+    "filter_pipeline_enabled",
+    "filter_pipeline_chunks",
+    "set_filter_pipeline",
+    "filter_pipeline",
 ]
 
 _ENABLED = True
@@ -74,6 +78,65 @@ def hemm_fusion(enabled: bool):
         yield
     finally:
         set_hemm_fusion(prev)
+
+
+def _pipeline_from_env() -> bool:
+    raw = os.environ.get("REPRO_FILTER_PIPELINE", "").strip().lower()
+    return raw in ("1", "true", "on", "yes")
+
+
+def _chunks_from_env() -> int:
+    raw = os.environ.get("REPRO_FILTER_CHUNKS", "").strip()
+    if raw.isdigit() and int(raw) >= 2:
+        return int(raw)
+    return 4
+
+
+#: Pipelined Chebyshev filter (DESIGN.md §5d).  Off by default: the
+#: chunked nonblocking allreduces keep byte counts and numerics
+#: bit-identical to blocking, but they change the *collective count*
+#: (one allreduce per chunk instead of one per apply), so the
+#: exact-reproduction default stays off.
+_PIPELINE = _pipeline_from_env()
+_PIPELINE_CHUNKS = _chunks_from_env()
+
+
+def filter_pipeline_enabled() -> bool:
+    """Whether the Chebyshev filter runs its chunked comm/compute pipeline."""
+    return _PIPELINE
+
+
+def filter_pipeline_chunks() -> int:
+    """Number of column-chunks the pipelined filter splits the block into."""
+    return _PIPELINE_CHUNKS
+
+
+def set_filter_pipeline(enabled: bool, chunks: int | None = None) -> tuple[bool, int]:
+    """Set the global pipeline switch; returns the previous (enabled, chunks).
+
+    ``chunks`` (>= 2) optionally overrides the chunk count; omitted
+    leaves it unchanged.
+    """
+    global _PIPELINE, _PIPELINE_CHUNKS
+    # validate before mutating: a rejected call must leave both
+    # switches untouched
+    if chunks is not None and int(chunks) < 2:
+        raise ValueError(f"pipeline needs >= 2 chunks, got {chunks}")
+    prev = (_PIPELINE, _PIPELINE_CHUNKS)
+    _PIPELINE = bool(enabled)
+    if chunks is not None:
+        _PIPELINE_CHUNKS = int(chunks)
+    return prev
+
+
+@contextlib.contextmanager
+def filter_pipeline(enabled: bool, chunks: int | None = None):
+    """Context manager scoping the pipeline switch (benchmarks/tests)."""
+    prev_enabled, prev_chunks = set_filter_pipeline(enabled, chunks)
+    try:
+        yield
+    finally:
+        set_filter_pipeline(prev_enabled, prev_chunks)
 
 
 def numeric_dedup_enabled() -> bool:

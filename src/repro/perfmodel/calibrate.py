@@ -8,6 +8,17 @@ assembles a single-node :class:`MachineSpec` whose devices carry the
 measured rates.  The same solver + phantom machinery then models local
 runs; :func:`examples.local_model` (see ``examples/``) demonstrates the
 round trip (predicted vs measured wall time of a real solve).
+
+One knob calibration does **not** measure: the nonblocking **overlap
+efficiency** (``CollectiveModel.overlap_efficiency``, DESIGN.md §5d) —
+the fraction of an in-flight collective that progresses behind compute.
+It is a property of the *communication stack*, not of local kernel
+rates: device-side NCCL collectives progress at full rate (default
+1.0), host-progressed staged MPI competes with the proxy thread
+(default 0.35).  To calibrate it against a real machine, time a
+compute-overlapped ``Iallreduce`` against a back-to-back one and set
+the measured fraction via ``Grid2D.set_overlap_efficiency`` (or the
+CLI ``--overlap`` flag); ``0.0`` recovers fully blocking behaviour.
 """
 
 from __future__ import annotations

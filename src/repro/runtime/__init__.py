@@ -21,7 +21,7 @@ from repro.runtime.backend import CommBackend
 from repro.runtime.device import LocalKernels
 from repro.runtime.rank import RankContext
 from repro.runtime.cluster import VirtualCluster
-from repro.runtime.communicator import Communicator
+from repro.runtime.communicator import CollectiveRequest, Communicator
 from repro.runtime.executor import (
     kernel_worker_scope,
     kernel_workers,
@@ -41,6 +41,7 @@ __all__ = [
     "RankContext",
     "VirtualCluster",
     "Communicator",
+    "CollectiveRequest",
     "Grid2D",
     "squarest_grid",
     "kernel_workers",

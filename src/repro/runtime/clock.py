@@ -8,11 +8,20 @@ __all__ = ["CostCategory", "Clock"]
 
 
 class CostCategory(enum.Enum):
-    """The three cost classes the paper breaks kernels into (Fig. 2)."""
+    """The three cost classes the paper breaks kernels into (Fig. 2),
+    plus the hidden-communication class of nonblocking collectives.
+
+    ``COMM_HIDDEN`` intervals are communication that progressed *behind*
+    local compute between a nonblocking collective's issue and its
+    ``wait()`` (DESIGN.md §5d).  They never advance a rank's clock —
+    only the exposed remainder (charged as ``COMM``) does — so for any
+    collective ``COMM + COMM_HIDDEN`` equals the blocking-mode charge.
+    """
 
     COMPUTE = "compute"
     COMM = "communication"
     DATAMOVE = "data movement"
+    COMM_HIDDEN = "hidden communication"
 
 
 class Clock:

@@ -14,10 +14,24 @@ Backend behaviour (paper Sec. 3.3):
   as DATAMOVE), then pays the MPI collective model (charged as COMM);
 * ``NCCL`` — no staging; NCCL ring model charged as COMM;
 * ``MPI_HOST`` — no staging (buffers already on the host).
+
+Nonblocking collectives (DESIGN.md §5d): :meth:`Communicator.iallreduce`
+and :meth:`Communicator.ibcast` return a :class:`CollectiveRequest`
+whose ``wait()`` settles the clock accounting.  The operation cannot
+start before every participant has issued it (entry time = max of the
+issue-time clocks, exactly the blocking barrier semantics) and runs for
+the *same* modeled duration ``d`` as the blocking call; the part of
+``d`` that fits into ``overlap_efficiency x (wait_time - entry_time)``
+is *hidden* behind the compute charged in between (booked as
+``COMM_HIDDEN``, no clock advance) and only the remainder is *exposed*
+(charged as ``COMM``).  ``hidden + exposed == d`` always, so at overlap
+efficiency 0 — or with ``wait()`` called immediately — the accounting
+is bit-identical to the blocking collective.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from numbers import Number
 
@@ -26,7 +40,7 @@ import numpy as np
 from repro.arrays import is_phantom, nbytes_of
 from repro.runtime.rank import RankContext
 
-__all__ = ["Communicator", "CommStats"]
+__all__ = ["Communicator", "CommStats", "CollectiveRequest"]
 
 
 class CommStats:
@@ -64,6 +78,123 @@ class CommStats:
             f"CommStats(collectives={self.collectives}, "
             f"messages={self.messages}, bytes={self.bytes_moved:.3g})"
         )
+
+
+class CollectiveRequest:
+    """Handle for one in-flight nonblocking collective (MPI request).
+
+    Created by :meth:`Communicator.iallreduce` / :meth:`Communicator.ibcast`.
+    The request remembers the entry time (max of the participants' clocks
+    at issue — the collective cannot start earlier) and the blocking-model
+    duration ``d``.  :meth:`wait` settles the accounting per rank:
+
+    * the rank first idles forward to the entry time (other participants
+      may not have issued yet — the blocking barrier semantics);
+    * of ``d``, ``min(d, f * (wait_clock - entry))`` is **hidden** — it
+      progressed at overlap efficiency ``f`` behind the compute charged
+      between issue and wait — and is booked as ``COMM_HIDDEN`` without
+      advancing the clock;
+    * the remainder is **exposed** and charged as ``COMM``.
+
+    ``hidden + exposed == d`` on every rank for every ``f``, so the
+    communication *volume* always matches the blocking collective; only
+    its placement on the clock changes.  Data movement (the numeric
+    reduction / broadcast copy) happens at :meth:`wait`, with exactly the
+    blocking path's accumulation order — results are bit-identical.
+
+    ``wait()`` is idempotent (subsequent calls return the cached result);
+    :meth:`test` probes completability without charging anything.
+    """
+
+    __slots__ = ("_comm", "_kind", "_buffers", "_nbytes", "_scalar",
+                 "_duration", "_t_entry", "_shared", "_compute", "_root",
+                 "_stage_seconds", "_done", "_result")
+
+    def __init__(self, comm: "Communicator", kind: str, buffers, nbytes: float,
+                 scalar: bool, duration: float, t_entry: float, *,
+                 shared: bool = False, compute: bool = True, root: int = 0,
+                 stage_seconds: float | None = None):
+        self._comm = comm
+        self._kind = kind
+        self._buffers = buffers
+        self._nbytes = nbytes
+        self._scalar = scalar
+        self._duration = duration
+        self._t_entry = t_entry
+        self._shared = shared
+        self._compute = compute
+        self._root = root
+        self._stage_seconds = stage_seconds
+        self._done = False
+        self._result = None
+
+    @classmethod
+    def _completed(cls, comm: "Communicator", result) -> "CollectiveRequest":
+        """An already-satisfied request (single-rank communicators)."""
+        req = cls(comm, "noop", [], 0.0, False, 0.0, 0.0)
+        req._done = True
+        req._result = result
+        return req
+
+    @property
+    def complete(self) -> bool:
+        """Whether :meth:`wait` has already settled this request."""
+        return self._done
+
+    @property
+    def duration(self) -> float:
+        """Blocking-model duration ``d`` of the underlying collective."""
+        return self._duration
+
+    @property
+    def entry_time(self) -> float:
+        """Earliest time the collective could start (max issue clock)."""
+        return self._t_entry
+
+    def test(self) -> bool:
+        """True when ``wait()`` would expose no communication.
+
+        At the participants' *current* clocks, the collective has fully
+        progressed behind their compute (``f * elapsed >= d`` on every
+        rank).  Purely advisory — charges nothing, moves nothing.
+        """
+        if self._done:
+            return True
+        f = self._comm.overlap_efficiency
+        d = self._duration
+        return all(
+            f * max(0.0, r.clock.now - self._t_entry) >= d
+            for r in self._comm.ranks
+        )
+
+    def wait(self):
+        """Complete the collective: charge exposed/hidden time, move data."""
+        if self._done:
+            return self._result
+        self._done = True
+        comm = self._comm
+        f = comm.overlap_efficiency
+        d = self._duration
+        for r in comm.ranks:
+            t_w = r.clock.sync_to(self._t_entry)  # idle until all entered
+            hidden = min(d, f * (t_w - self._t_entry))
+            exposed = d - hidden
+            if hidden > 0.0:
+                r.charge_comm_hidden(hidden, start=self._t_entry)
+            if exposed > 0.0:
+                r.charge_comm(exposed)
+        comm._stage(self._nbytes, "h2d", seconds=self._stage_seconds)
+        if self._kind == "allreduce":
+            self._result = comm._allreduce_move(
+                self._buffers, self._scalar, self._shared, self._compute
+            )
+        else:
+            self._result = comm._bcast_move(
+                self._buffers, self._scalar, self._root, self._shared,
+                self._compute,
+            )
+        self._buffers = []  # release references
+        return self._result
 
 
 class Communicator:
@@ -119,12 +250,20 @@ class Communicator:
             raise ValueError(f"buffer shapes differ across ranks: {shapes}")
         return float(nbytes_of(buffers[0])), False
 
-    def _stage(self, nbytes: float, direction: str) -> None:
-        """Host staging for the STD backend (skipped when payload is 0)."""
+    def _stage(self, nbytes: float, direction: str,
+               seconds: float | None = None) -> None:
+        """Host staging for the STD backend (skipped when payload is 0).
+
+        ``seconds`` overrides the per-rank PCIe time — the pipelined
+        filter charges chunk stagings as exact fractions of the
+        full-payload copy so that chunking never inflates DATAMOVE.
+        """
         if not self.backend.stages_through_host or nbytes <= 0:
             return
         for r in self.ranks:
-            if direction == "d2h":
+            if seconds is not None:
+                r.charge_datamove(seconds)
+            elif direction == "d2h":
                 r.stage_d2h(nbytes)
             else:
                 r.stage_h2d(nbytes)
@@ -132,6 +271,66 @@ class Communicator:
     def _charge_comm_all(self, dt: float) -> None:
         for r in self.ranks:
             r.charge_comm(dt)
+
+    # -- overlap knob -------------------------------------------------------------------
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of a nonblocking collective that hides behind compute."""
+        return float(getattr(self.model, "overlap_efficiency", 0.0))
+
+    def set_overlap_efficiency(self, f: float) -> float:
+        """Override the model's overlap efficiency; returns the old value."""
+        f = float(f)
+        if not 0.0 <= f <= 1.0:
+            raise ValueError(f"overlap efficiency must be in [0, 1], got {f}")
+        old = self.overlap_efficiency
+        self.model = dataclasses.replace(self.model, overlap_efficiency=f)
+        return old
+
+    # -- data movement (shared by blocking and nonblocking paths) -----------------------
+    def _allreduce_move(self, buffers, scalar: bool, shared: bool,
+                        compute: bool):
+        """The numeric part of a SUM-allreduce.
+
+        One implementation for both the blocking call and
+        :meth:`CollectiveRequest.wait` — same accumulation order, so
+        pipelined execution is bit-identical to blocking.
+        """
+        if not compute:
+            return list(buffers)
+        if scalar:
+            total = sum(buffers)
+            return [total] * self.size
+        if is_phantom(buffers[0]):
+            return list(buffers)
+        if shared:
+            total = buffers[0]
+            for b in buffers[1:]:
+                total += b
+            return [total] * self.size
+        total = buffers[0].copy()
+        for b in buffers[1:]:
+            total += b
+        for b in buffers:
+            b[...] = total
+        return list(buffers)
+
+    def _bcast_move(self, buffers, scalar: bool, root: int, shared: bool,
+                    compute: bool):
+        """The numeric part of a broadcast (shared with ``ibcast``)."""
+        if not compute:
+            return list(buffers)
+        if scalar:
+            return [buffers[root]] * self.size
+        if is_phantom(buffers[0]):
+            return list(buffers)
+        if shared:
+            return [buffers[root]] * self.size
+        src = buffers[root]
+        for i, b in enumerate(buffers):
+            if i != root:
+                b[...] = src
+        return list(buffers)
 
     # -- collectives --------------------------------------------------------------------
     def allreduce(self, buffers, op: str = "sum", *, shared: bool = False,
@@ -165,24 +364,7 @@ class Communicator:
         self._barrier_entry()
         self._charge_comm_all(self.model.allreduce(nbytes, self.size, self.spans_nodes))
         self._stage(nbytes, "h2d")
-        if not compute:
-            return list(buffers)
-        if scalar:
-            total = sum(buffers)
-            return [total] * self.size
-        if is_phantom(buffers[0]):
-            return list(buffers)
-        if shared:
-            total = buffers[0]
-            for b in buffers[1:]:
-                total += b
-            return [total] * self.size
-        total = buffers[0].copy()
-        for b in buffers[1:]:
-            total += b
-        for b in buffers:
-            b[...] = total
-        return list(buffers)
+        return self._allreduce_move(buffers, scalar, shared, compute)
 
     def bcast(self, buffers, root: int, *, shared: bool = False,
               compute: bool = True):
@@ -203,19 +385,68 @@ class Communicator:
         self._barrier_entry()
         self._charge_comm_all(self.model.bcast(nbytes, self.size, self.spans_nodes))
         self._stage(nbytes, "h2d")
-        if not compute:
-            return list(buffers)
-        if scalar:
-            return [buffers[root]] * self.size
-        if is_phantom(buffers[0]):
-            return list(buffers)
-        if shared:
-            return [buffers[root]] * self.size
-        src = buffers[root]
-        for i, b in enumerate(buffers):
-            if i != root:
-                b[...] = src
-        return list(buffers)
+        return self._bcast_move(buffers, scalar, root, shared, compute)
+
+    # -- nonblocking collectives --------------------------------------------------------
+    def iallreduce(self, buffers, op: str = "sum", *, shared: bool = False,
+                   compute: bool = True, duration: float | None = None,
+                   stage_seconds: float | None = None) -> CollectiveRequest:
+        """Issue a nonblocking SUM-allreduce; returns a request handle.
+
+        At issue time the collective records its stats (identical message
+        and byte counters to the blocking call), performs the d2h staging
+        of the STD backend, and captures the entry time — the max of the
+        participants' clocks, the earliest instant the transfer can
+        start.  No clock advances until :meth:`CollectiveRequest.wait`,
+        which splits the blocking-model duration into hidden and exposed
+        parts according to ``overlap_efficiency`` and then performs the
+        reduction with the blocking path's exact accumulation order.
+
+        ``duration`` overrides the modeled blocking duration ``d`` and
+        ``stage_seconds`` the per-rank host-staging time each way.  The
+        chunked filter tier (DESIGN.md §5d) uses these to charge each
+        chunk an exact *fraction* of the full-payload collective: the
+        alpha-beta model's per-call constants would otherwise be paid
+        once per chunk, making chunking itself inflate the model and
+        drowning the overlap effect it exists to expose.
+        """
+        if op != "sum":
+            raise NotImplementedError("only SUM allreduce is used by ChASE")
+        nbytes, scalar = self._check_buffers(buffers)
+        if self.size == 1:
+            return CollectiveRequest._completed(self, list(buffers))
+        self.stats.record(nbytes, self.size, 2 * math.ceil(math.log2(self.size)))
+        self._stage(nbytes, "d2h", seconds=stage_seconds)
+        t_entry = max(r.clock.now for r in self.ranks)
+        d = self.model.allreduce(nbytes, self.size, self.spans_nodes) \
+            if duration is None else float(duration)
+        return CollectiveRequest(
+            self, "allreduce", list(buffers), nbytes, scalar, d, t_entry,
+            shared=shared, compute=compute, stage_seconds=stage_seconds,
+        )
+
+    def ibcast(self, buffers, root: int, *, shared: bool = False,
+               compute: bool = True, duration: float | None = None,
+               stage_seconds: float | None = None) -> CollectiveRequest:
+        """Issue a nonblocking broadcast; returns a request handle.
+
+        Same semantics and overrides as :meth:`iallreduce`.
+        """
+        if not 0 <= root < self.size:
+            raise IndexError(f"root {root} out of range for size {self.size}")
+        nbytes, scalar = self._check_buffers(buffers)
+        if self.size == 1:
+            return CollectiveRequest._completed(self, list(buffers))
+        self.stats.record(nbytes, self.size, math.ceil(math.log2(self.size)))
+        self._stage(nbytes, "d2h", seconds=stage_seconds)
+        t_entry = max(r.clock.now for r in self.ranks)
+        d = self.model.bcast(nbytes, self.size, self.spans_nodes) \
+            if duration is None else float(duration)
+        return CollectiveRequest(
+            self, "bcast", list(buffers), nbytes, scalar, d, t_entry,
+            shared=shared, compute=compute, root=root,
+            stage_seconds=stage_seconds,
+        )
 
     def allgather(self, buffers):
         """Ring allgather; every rank receives the list of all blocks.

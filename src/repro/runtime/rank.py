@@ -113,6 +113,20 @@ class RankContext:
         self.clock.advance(dt)
         self.tracer.add(self.rank_id, CostCategory.DATAMOVE, dt)
 
+    def charge_comm_hidden(self, dt: float, start: float) -> None:
+        """Book ``dt`` seconds of communication hidden behind compute.
+
+        Hidden communication progressed concurrently with already-charged
+        COMPUTE intervals (nonblocking collectives, DESIGN.md §5d), so it
+        must **not** advance the clock — it is recorded in the tracer
+        (and, when a :class:`~repro.runtime.timeline.Timeline` is
+        attached, as an interval ``[start, start + dt]`` overlapping the
+        compute it hid behind).
+        """
+        if dt < 0:
+            raise ValueError(f"negative hidden-comm charge dt={dt}")
+        self.tracer.add(self.rank_id, CostCategory.COMM_HIDDEN, dt)
+
     # -- host-device staging -------------------------------------------------------
     def stage_d2h(self, nbytes: float) -> None:
         """Device -> host copy of ``nbytes`` (PCIe), charged as DATAMOVE."""

@@ -29,6 +29,7 @@ _GLYPH = {
     CostCategory.COMPUTE: "#",
     CostCategory.COMM: "~",
     CostCategory.DATAMOVE: ".",
+    CostCategory.COMM_HIDDEN: "-",
 }
 
 
@@ -54,21 +55,36 @@ class Timeline:
     def __init__(self) -> None:
         self.events: list[TimelineEvent] = []
         self._restore: list = []
+        self._wrapped: set[int] = set()
 
     # -- attachment -------------------------------------------------------------
     @classmethod
     def attach(cls, cluster) -> "Timeline":
         """Start recording every charge on ``cluster``'s ranks."""
         tl = cls()
-        for rank in cluster.ranks:
-            tl._wrap(rank, cluster.tracer)
+        tl.attach_to(cluster)
         return tl
+
+    def attach_to(self, cluster) -> "Timeline":
+        """Attach this timeline to ``cluster``'s ranks (idempotent).
+
+        Ranks already wrapped by *this* timeline are skipped, so calling
+        attach twice never stacks wrappers (stacked wrappers would record
+        every charge twice — a double-count bug, not a double-render
+        cosmetic issue).  Returns ``self`` for chaining.
+        """
+        for rank in cluster.ranks:
+            if rank.rank_id in self._wrapped:
+                continue
+            self._wrap(rank, cluster.tracer)
+        return self
 
     def _wrap(self, rank, tracer) -> None:
         originals = {
             CostCategory.COMPUTE: rank.charge_compute,
             CostCategory.COMM: rank.charge_comm,
             CostCategory.DATAMOVE: rank.charge_datamove,
+            CostCategory.COMM_HIDDEN: rank.charge_comm_hidden,
         }
 
         def make(category, original):
@@ -86,12 +102,28 @@ class Timeline:
                 )
             return charge
 
+        def charge_hidden(dt: float, start: float) -> None:
+            # hidden comm never advances the clock: the interval starts
+            # at the collective's entry time, not at the rank's `now`
+            originals[CostCategory.COMM_HIDDEN](dt, start)
+            self.events.append(
+                TimelineEvent(
+                    rank_id=rank.rank_id,
+                    phase=tracer.current_phase,
+                    category=CostCategory.COMM_HIDDEN,
+                    start=start,
+                    end=start + dt,
+                )
+            )
+
         rank.charge_compute = make(CostCategory.COMPUTE, originals[CostCategory.COMPUTE])
         rank.charge_comm = make(CostCategory.COMM, originals[CostCategory.COMM])
         rank.charge_datamove = make(
             CostCategory.DATAMOVE, originals[CostCategory.DATAMOVE]
         )
+        rank.charge_comm_hidden = charge_hidden
         self._restore.append((rank, originals))
+        self._wrapped.add(rank.rank_id)
 
     def detach(self) -> None:
         """Restore the wrapped charge methods."""
@@ -99,7 +131,9 @@ class Timeline:
             rank.charge_compute = originals[CostCategory.COMPUTE]
             rank.charge_comm = originals[CostCategory.COMM]
             rank.charge_datamove = originals[CostCategory.DATAMOVE]
+            rank.charge_comm_hidden = originals[CostCategory.COMM_HIDDEN]
         self._restore.clear()
+        self._wrapped.clear()
 
     # -- queries ---------------------------------------------------------------
     def span(self) -> tuple[float, float]:
@@ -129,7 +163,8 @@ class Timeline:
         """ASCII Gantt chart: one row per rank.
 
         ``#`` compute, ``~`` communication, ``.`` data movement,
-        spaces idle.  Later events overwrite earlier ones per cell.
+        ``-`` hidden communication, spaces idle.  Later events overwrite
+        earlier ones per cell.
         """
         if width < 10:
             raise ValueError("width must be >= 10")
@@ -138,7 +173,7 @@ class Timeline:
         ranks = sorted({e.rank_id for e in self.events})
         lines = [
             f"timeline: {wall:.6f} s across {len(ranks)} ranks "
-            f"(# compute, ~ comm, . datamove)"
+            f"(# compute, ~ comm, . datamove, - hidden comm)"
         ]
         if wall <= 0:
             return lines[0]

@@ -26,16 +26,31 @@ _IDLE_PHASE = "<unphased>"
 
 @dataclass
 class PhaseBreakdown:
-    """Per-phase cost split, in modeled seconds."""
+    """Per-phase cost split, in modeled seconds.
+
+    ``comm`` is *exposed* communication (it advanced the critical rank's
+    clock); ``comm_hidden`` is communication a nonblocking collective
+    progressed behind compute (DESIGN.md §5d).  ``total`` remains the
+    wall-clock contribution — compute + exposed comm + datamove — so
+    hidden communication never inflates the critical path; ``comm_total``
+    is the full communication volume, equal to the blocking-mode ``comm``
+    of the same collective sequence.
+    """
 
     phase: str
     compute: float = 0.0
     comm: float = 0.0
     datamove: float = 0.0
+    comm_hidden: float = 0.0
 
     @property
     def total(self) -> float:
         return self.compute + self.comm + self.datamove
+
+    @property
+    def comm_total(self) -> float:
+        """Exposed + hidden communication of the critical rank."""
+        return self.comm + self.comm_hidden
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -43,6 +58,7 @@ class PhaseBreakdown:
             "compute": self.compute,
             "comm": self.comm,
             "datamove": self.datamove,
+            "comm_hidden": self.comm_hidden,
             "total": self.total,
         }
 
@@ -95,13 +111,20 @@ class Tracer:
                 per_rank[rank_id][cat] += dt
         if not per_rank:
             return PhaseBreakdown(phase)
-        # critical rank = the one with the largest phase total
-        crit = max(per_rank.values(), key=lambda d: sum(d.values()))
+        # critical rank = the one with the largest clock-advancing phase
+        # total (hidden communication does not advance any clock)
+        def advancing(d: dict[CostCategory, float]) -> float:
+            return sum(
+                dt for cat, dt in d.items() if cat is not CostCategory.COMM_HIDDEN
+            )
+
+        crit = max(per_rank.values(), key=advancing)
         return PhaseBreakdown(
             phase,
             compute=crit.get(CostCategory.COMPUTE, 0.0),
             comm=crit.get(CostCategory.COMM, 0.0),
             datamove=crit.get(CostCategory.DATAMOVE, 0.0),
+            comm_hidden=crit.get(CostCategory.COMM_HIDDEN, 0.0),
         )
 
     def total(self, phase: str | None = None) -> float:

@@ -11,19 +11,21 @@ import numpy as np
 import pytest
 
 from repro import ChaseConfig, ChaseSolver, ConvergenceTrace
-from repro.distributed import DistributedHermitian
+from repro.distributed import DistributedHermitian, filter_pipeline
 from repro.matrices import uniform_matrix
-from repro.runtime import CommBackend, CostCategory
+from repro.runtime import CommBackend, Communicator, CostCategory, VirtualCluster
 from tests.conftest import make_grid
 
 
-def _phantom_run(slowdowns: dict[int, float] | None = None):
+def _phantom_run(slowdowns: dict[int, float] | None = None, *,
+                 pipeline: bool = False):
     g = make_grid(4, phantom=True)
     for rid, f in (slowdowns or {}).items():
         g.cluster.ranks[rid].slowdown = f
     Hd = DistributedHermitian.phantom(g, 20_000, np.float64)
     s = ChaseSolver(g, Hd, ChaseConfig(nev=800, nex=200, deg=20))
-    res = s.solve_phantom(ConvergenceTrace.fixed(1, 1000, deg=20))
+    with filter_pipeline(pipeline):
+        res = s.solve_phantom(ConvergenceTrace.fixed(1, 1000, deg=20))
     return res, g
 
 
@@ -77,3 +79,67 @@ class TestStragglers:
         base, _ = _phantom_run()
         slow, _ = _phantom_run({1: 1.1})
         assert slow.makespan < base.makespan * 1.25
+
+
+class TestStragglerPipeline:
+    """Stragglers composed with the nonblocking pipelined filter.
+
+    A slow rank adds *compute*; with full overlap efficiency the extra
+    compute hides more of the in-flight collective — the delay is
+    absorbed up to the modeled slack (collective duration minus the
+    compute already covering it), and serializes 1:1 beyond it."""
+
+    def _delayed_allreduce(self, extra: float):
+        """Issue one nonblocking allreduce, overlap `work` of compute on
+        every rank plus `extra` on rank 0, then wait.  Returns
+        (makespan, collective duration, per-rank compute)."""
+        cl = VirtualCluster(4, backend=CommBackend.NCCL, ranks_per_node=4)
+        comm = Communicator(cl.ranks)
+        req = comm.iallreduce([np.ones((256, 256)) for _ in range(4)])
+        d = req.duration
+        work = 0.25 * d  # leaves slack = d - work before serialization
+        for r in cl.ranks:
+            r.charge_compute(work)
+        cl.ranks[0].charge_compute(extra)
+        req.wait()
+        return max(r.clock.now for r in cl.ranks), d, work
+
+    def test_delay_absorbed_up_to_slack(self):
+        mk0, d, work = self._delayed_allreduce(0.0)
+        assert mk0 == pytest.approx(d)  # comm is the critical path
+        slack = d - work
+        mk_in, *_ = self._delayed_allreduce(0.5 * slack)
+        assert mk_in == pytest.approx(d)  # fully absorbed
+        mk_edge, *_ = self._delayed_allreduce(slack)
+        assert mk_edge == pytest.approx(d)  # boundary: still absorbed
+
+    def test_delay_serializes_beyond_slack(self):
+        _mk, d, work = self._delayed_allreduce(0.0)
+        slack = d - work
+        for beyond in (0.5 * slack, 2.0 * slack):
+            mk, *_ = self._delayed_allreduce(slack + beyond)
+            # past the slack the makespan grows 1:1 with the delay
+            assert mk == pytest.approx(d + beyond)
+
+    def test_pipeline_still_helps_with_straggler(self):
+        blk, _ = _phantom_run({2: 1.5})
+        pipe, _ = _phantom_run({2: 1.5}, pipeline=True)
+        assert pipe.makespan < blk.makespan
+
+    def test_straggler_numerics_unchanged_by_pipeline(self, rng):
+        H = uniform_matrix(120, rng=rng)
+        cfg = ChaseConfig(nev=6, nex=4)
+        V0 = np.random.default_rng(8).standard_normal((120, 10))
+        g1 = make_grid(4)
+        g1.cluster.ranks[3].slowdown = 2.0
+        r1 = ChaseSolver(
+            g1, DistributedHermitian.from_dense(g1, H), cfg
+        ).solve(V0=V0, rng=np.random.default_rng(1))
+        g2 = make_grid(4)
+        g2.cluster.ranks[3].slowdown = 2.0
+        with filter_pipeline(True, 3):
+            r2 = ChaseSolver(
+                g2, DistributedHermitian.from_dense(g2, H), cfg
+            ).solve(V0=V0, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(r1.eigenvalues, r2.eigenvalues)
+        assert r2.makespan < r1.makespan

@@ -83,6 +83,44 @@ class TestTimeline:
         cl.ranks[0].charge_compute(1.0)
         assert len(tl.events) == 1  # no longer recording
 
+    def test_attach_is_idempotent(self):
+        """Attaching twice must not stack wrappers: a stacked wrapper
+        records every charge twice (a double-count, not a cosmetic
+        duplicate) and detach would restore a still-wrapped method."""
+        cl = VirtualCluster(2)
+        tl = Timeline.attach(cl)
+        assert tl.attach_to(cl) is tl  # re-entrant no-op
+        cl.ranks[0].charge_compute(1.0)
+        cl.ranks[0].charge_comm(0.5)
+        assert len(tl.events) == 2  # one event per charge, not two
+        tl.detach()
+        cl.ranks[0].charge_compute(1.0)
+        assert len(tl.events) == 2  # fully unwrapped in one detach
+
+    def test_reattach_after_detach_records_again(self):
+        cl = VirtualCluster(2)
+        tl = Timeline.attach(cl)
+        tl.detach()
+        tl.attach_to(cl)
+        cl.ranks[1].charge_compute(1.0)
+        assert len(tl.events) == 1
+        tl.detach()
+
+    def test_attach_records_hidden_comm_intervals(self):
+        """Hidden-comm events carry the collective's entry time, not the
+        rank's clock at charge time."""
+        cl = VirtualCluster(2)
+        tl = Timeline.attach(cl)
+        cl.ranks[0].charge_compute(2.0)
+        cl.ranks[0].charge_comm_hidden(0.5, start=1.0)
+        hidden = [e for e in tl.events
+                  if e.category is CostCategory.COMM_HIDDEN]
+        assert len(hidden) == 1
+        assert hidden[0].start == 1.0 and hidden[0].end == 1.5
+        # hidden comm never advances the clock
+        assert cl.ranks[0].clock.now == 2.0
+        tl.detach()
+
     def test_empty_timeline(self):
         tl = Timeline()
         assert tl.span() == (0.0, 0.0)
