@@ -1,4 +1,4 @@
-"""Ablation — rank placement on nodes.
+"""Ablation — rank placement on nodes, flat vs hop-aware costing.
 
 With the default block placement (consecutive ranks per node) and a
 row-major 2D grid, the *row* communicators are intra-node (NVLink for
@@ -9,6 +9,13 @@ the expensive hops land.  This ablation measures a single weak-scaling
 iteration under both placements and verifies the simulator resolves the
 difference — the kind of topology experiment the virtual cluster makes
 free.
+
+Each point is costed twice (DESIGN.md §5e): with the seed's flat
+intra/inter-node *boolean* (no topology attached) and with a two-level
+fat tree attached, where inter-node legs pay for the deepest level they
+cross and for core oversubscription.  The flat column reproduces the
+seed numbers exactly; the hop-aware column can only be >= it, and the
+gap is the modeled price of deep crossings the boolean cannot see.
 """
 
 from __future__ import annotations
@@ -23,10 +30,11 @@ from repro.reporting import render_table
 from repro.runtime import CommBackend, Grid2D, VirtualCluster
 
 
-def _point(nodes: int, placement: str, backend: CommBackend):
+def _point(nodes: int, placement: str, backend: CommBackend,
+           tree: FatTree | None = None):
     cluster = VirtualCluster(
         nodes * 4, backend=backend, ranks_per_node=4,
-        phantom=True, placement=placement,
+        phantom=True, placement=placement, topology=tree,
     )
     grid = Grid2D(cluster)
     N = 30_000 * int(round(np.sqrt(nodes)))
@@ -40,7 +48,7 @@ def _point(nodes: int, placement: str, backend: CommBackend):
     # which communicators stay on-node?
     intra_rows = sum(not grid.row_comm(i).spans_nodes for i in range(grid.p))
     intra_cols = sum(not grid.col_comm(j).spans_nodes for j in range(grid.q))
-    return res, intra_rows, intra_cols
+    return res, intra_rows, intra_cols, grid
 
 
 def test_ablation_rank_placement(benchmark):
@@ -48,29 +56,32 @@ def test_ablation_rank_placement(benchmark):
     for nodes in (4, 16):
         tree = FatTree(nodes, nodes_per_leaf=2)
         for placement in ("block", "round_robin"):
-            res, ir, ic = _point(nodes, placement, CommBackend.NCCL)
-            # fat-tree exposure of the first row communicator's traffic
-            cluster = VirtualCluster(
-                nodes * 4, backend=CommBackend.NCCL, ranks_per_node=4,
-                phantom=True, placement=placement,
+            flat, ir, ic, _ = _point(nodes, placement, CommBackend.NCCL)
+            hop, _, _, grid = _point(
+                nodes, placement, CommBackend.NCCL, tree=tree
             )
-            grid = Grid2D(cluster)
+            # fat-tree exposure of the first row communicator's traffic
             prof = tree.comm_profile([r.node for r in grid.row_comm(0).ranks])
             rows.append(
                 [nodes, placement, ir, ic,
                  round(prof["core_fraction"], 2),
-                 round(res.timings["Filter"].comm, 3),
-                 round(res.makespan, 3)]
+                 round(flat.timings["Filter"].comm, 3),
+                 round(hop.timings["Filter"].comm, 3),
+                 round(flat.makespan, 3),
+                 round(hop.makespan, 3),
+                 round(hop.makespan / flat.makespan, 3)]
             )
     emit(
         "ablation_placement",
         render_table(
             ["nodes", "placement", "intra-node row comms",
              "intra-node col comms", "row-comm core exposure",
-             "Filter comm (s)", "total (s)"],
+             "Filter comm flat (s)", "Filter comm hop-aware (s)",
+             "total flat (s)", "total hop-aware (s)", "hop/flat"],
             rows,
             title="Ablation — rank placement decides which communicators "
-                  "stay on NVLink",
+                  "stay on NVLink; hop-aware costing prices the crossings "
+                  "the flat boolean cannot see",
         ),
     )
     # the placements must differ in on-node communicator structure ...
@@ -78,7 +89,12 @@ def test_ablation_rank_placement(benchmark):
     assert by[(4, "block")][2] != by[(4, "round_robin")][2] or \
            by[(4, "block")][3] != by[(4, "round_robin")][3]
     # ... and the simulator must resolve a timing difference from it
-    assert by[(4, "block")][6] != by[(4, "round_robin")][6]
+    assert by[(4, "block")][7] != by[(4, "round_robin")][7]
+    # hop-aware costing can only add to the flat boolean's charges ...
+    for r in rows:
+        assert r[8] >= r[7], r
+    # ... and must actually price a deep crossing somewhere in the sweep
+    assert any(r[8] > r[7] for r in rows)
 
     benchmark.pedantic(
         _point, args=(4, "block", CommBackend.NCCL), rounds=1, iterations=1

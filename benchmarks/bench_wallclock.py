@@ -30,7 +30,10 @@ fused win is modest; all numbers are reported honestly with
 Run:  ``PYTHONPATH=src python benchmarks/bench_wallclock.py [--smoke]``
 
 ``--smoke`` (CI) additionally **gates**: it exits nonzero if the fused
-full-solve is slower than the seed path (speedup < 1.0).
+full-solve is slower than the seed path (speedup < 1.0), if the
+pipelined filter fails to reduce the modeled filter phase, or if the
+autotuned configuration (``repro tune``'s winner on the default grid
+shape, DESIGN.md §5e) models slower than the untuned default.
 """
 
 from __future__ import annotations
@@ -273,6 +276,93 @@ def pipeline_point(N, nev, nex, p, q, dtype, repeats, chunks=4):
 
 
 # ---------------------------------------------------------------------------
+# autotuned configuration (DESIGN.md §5e) — modeled-time effect
+# ---------------------------------------------------------------------------
+
+
+def tuned_point(N, nev, nex, n_ranks, dtype, repeats):
+    """Untuned default vs the autotuner's winner on the reference grid.
+
+    ``repro tune`` scores the full configuration space with model-only
+    dry runs; this point applies the winner *restricted to the default
+    (squarest) grid shape* — so the comparison isolates the collective
+    algorithm / filter pipelining / fusion choice on the ISSUE's 2x4
+    NCCL grid — and verifies on a real numeric solve that the tuned
+    configuration models no slower than the default and leaves the
+    eigenpairs unchanged.  The full-space winner is reported alongside.
+    """
+    from repro.perfmodel.autotune import (
+        applied,
+        autotune,
+        default_config,
+        enumerate_candidates,
+    )
+
+    dc = default_config(n_ranks)
+    rep_full = autotune(n_ranks, N, nev, nex, backend=CommBackend.NCCL)
+    grid_cands = [
+        c for c in enumerate_candidates(n_ranks) if (c.p, c.q) == (dc.p, dc.q)
+    ]
+    rep = autotune(n_ranks, N, nev, nex, backend=CommBackend.NCCL,
+                   candidates=grid_cands)
+    best = rep.best.config
+
+    H = _hermitian(np.random.default_rng(1234), N, dtype)
+
+    def run(cfg):
+        with _mode("dedup"), applied(
+            cfg, n_ranks=n_ranks, backend=CommBackend.NCCL
+        ) as grid:
+            Hd = DistributedHermitian.from_dense(grid, H)
+            res = ChaseSolver(grid, Hd, ChaseConfig(nev=nev, nex=nex)).solve(
+                rng=np.random.default_rng(7)
+            )
+            return res
+
+    wall_d, res_d = _timed(lambda: run(dc), repeats)
+    wall_t, res_t = _timed(lambda: run(best), repeats)
+    if best.hemm_fusion:
+        # the fused tier is within rounding of the seed numerics (§5c)
+        scale = max(1.0, float(np.abs(res_d.eigenvalues).max()))
+        numerics_ok = bool(
+            np.abs(res_t.eigenvalues - res_d.eigenvalues).max() <= 1e-8 * scale
+        )
+    else:
+        numerics_ok = bool(
+            np.array_equal(res_t.eigenvalues, res_d.eigenvalues)
+        )
+    point = {
+        "kind": "tuned",
+        "N": N,
+        "nev": nev,
+        "nex": nex,
+        "ranks": n_ranks,
+        "grid": f"{dc.p}x{dc.q}",
+        "dtype": np.dtype(dtype).name,
+        "backend": "nccl",
+        "candidates_scored": len(rep_full.results),
+        "tuned_config": best.label(),
+        "tuned_config_full_space": rep_full.best.config.label(),
+        "modeled_dryrun_default_s": round(rep.default.makespan, 6),
+        "modeled_dryrun_tuned_s": round(rep.best.makespan, 6),
+        "speedup_modeled_dryrun": round(rep.speedup, 3),
+        "speedup_modeled_dryrun_full_space": round(rep_full.speedup, 3),
+        "modeled_solve_default_s": round(res_d.makespan, 6),
+        "modeled_solve_tuned_s": round(res_t.makespan, 6),
+        "speedup_modeled_solve": round(res_d.makespan / res_t.makespan, 3),
+        "wall_s_default": round(wall_d, 4),
+        "wall_s_tuned": round(wall_t, 4),
+        "eigenvalues_match": numerics_ok,
+        "target_met_tuned": bool(
+            rep.best.makespan <= rep.default.makespan
+            and res_t.makespan <= res_d.makespan
+        ),
+    }
+    assert point["eigenvalues_match"], "tuning changed the numerics!"
+    return point
+
+
+# ---------------------------------------------------------------------------
 # isolated HEMM phase (what the fused tier targets)
 # ---------------------------------------------------------------------------
 
@@ -469,6 +559,7 @@ def main(argv=None) -> None:
             ("rr", 300, 48, 2, 2, np.float64),
         ]
         pipelines = [(300, 32, 16, 2, 4, np.float64)]
+        tuned = [(300, 32, 16, 8, np.float64)]
     else:
         repeats = 2
         solves = [
@@ -492,6 +583,7 @@ def main(argv=None) -> None:
             (800, 96, 32, 2, 4, np.float64),     # ISSUE acceptance grid
             (600, 64, 24, 2, 4, np.complex128),
         ]
+        tuned = [(800, 96, 32, 8, np.float64)]   # ISSUE acceptance grid
 
     points = []
     for N, nev, nex, p, q, dt in solves:
@@ -532,6 +624,16 @@ def main(argv=None) -> None:
             f"wall overhead x{pt['wall_overhead_nccl']:.2f}"
         )
 
+    for N, nev, nex, n_ranks, dt in tuned:
+        pt = tuned_point(N, nev, nex, n_ranks, dt, repeats)
+        points.append(pt)
+        print(
+            f"tuned  N={N:5d} ne={nev + nex:4d} grid={pt['grid']} "
+            f"{np.dtype(dt).name:10s}  {pt['tuned_config']}  "
+            f"modeled solve x{pt['speedup_modeled_solve']:.2f}  "
+            f"dry run x{pt['speedup_modeled_dryrun']:.2f}"
+        )
+
     solve_pts = [pt for pt in points if pt["kind"] == "solve"]
     hemm_pts = [pt for pt in points if pt.get("phase") == "hemm_roundtrip"]
     pipe_pts = [pt for pt in points if pt["kind"] == "pipeline"]
@@ -542,6 +644,8 @@ def main(argv=None) -> None:
     hemm_target_pts = [pt for pt in hemm_pts if pt["grid"] == "2x4"] or hemm_pts
     best_hemm = max(hemm_target_pts, key=lambda pt: pt["speedup_fused_vs_dedup"])
     headline_pipe = max(pipe_pts, key=lambda pt: pt["N"])
+    tuned_pts = [pt for pt in points if pt["kind"] == "tuned"]
+    headline_tuned = max(tuned_pts, key=lambda pt: pt["N"])
     report = {
         "benchmark": "wallclock",
         "smoke": bool(args.smoke),
@@ -567,6 +671,8 @@ def main(argv=None) -> None:
         "headline_pipeline": headline_pipe,
         "target_met_pipeline_nccl": bool(headline_pipe["target_met_nccl"]),
         "target_met_pipeline_std": bool(headline_pipe["target_met_std"]),
+        "headline_tuned": headline_tuned,
+        "target_met_tuned": bool(headline_tuned["target_met_tuned"]),
         "note": (
             "The fused tier replaces the p*q per-block GEMMs with p "
             "panel GEMMs and folds the B->C reduction into the GEMM "
@@ -611,6 +717,15 @@ def main(argv=None) -> None:
             f"modeled filter phase (nccl x"
             f"{headline_pipe['speedup_modeled_filter_nccl']:.3f}, std x"
             f"{headline_pipe['speedup_modeled_filter_std']:.3f})",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    if args.smoke and not headline_tuned["target_met_tuned"]:
+        print(
+            "SMOKE GATE FAILED: autotuned configuration modeled slower "
+            f"than the untuned default (solve x"
+            f"{headline_tuned['speedup_modeled_solve']:.3f}, dry run x"
+            f"{headline_tuned['speedup_modeled_dryrun']:.3f})",
             file=sys.stderr,
         )
         sys.exit(1)

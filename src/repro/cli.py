@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirror the library's main entry points::
+Six subcommands mirror the library's main entry points::
 
     python -m repro solve --n 600 --nev 30                 # serial solve
     python -m repro solve --n 400 --nev 20 --distributed \\
@@ -8,8 +8,17 @@ Five subcommands mirror the library's main entry points::
     python -m repro suite --scale 260                      # Table 1 suite
     python -m repro weak --nodes 1 4 16 64                 # Fig. 3a points
     python -m repro strong --nodes 4 36 144                # Fig. 3b points
+    python -m repro tune --ranks 8 --n 800 --nev 96        # autotuner table
     python -m repro reproduce -o report.txt                # condensed
                                                            # end-to-end run
+
+``tune`` ranks grid shape x collective algorithm x filter pipelining x
+HEMM fusion by modeled makespan (model-only dry runs, no numerics);
+``solve --distributed --tuned`` runs the tuner first and solves under
+the winning configuration.  The collective algorithm for any simulated
+run can also be forced via ``--coll-algo`` or the ``REPRO_COLL_ALGO``
+environment variable (``ring`` / ``tree`` / ``hierarchical`` / ``auto``;
+DESIGN.md §5e).
 """
 
 from __future__ import annotations
@@ -51,18 +60,43 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     cfg = ChaseConfig(nev=nev, nex=nex, tol=args.tol)
 
     if args.distributed:
-        cluster = VirtualCluster(args.ranks, backend=_BACKENDS[args.backend])
-        grid = Grid2D(cluster)
-        if args.overlap is not None:
-            grid.set_overlap_efficiency(args.overlap)
-        Hd = DistributedHermitian.from_dense(grid, H)
-        with filter_pipeline(args.pipeline_filter, args.pipeline_chunks):
-            chunks = filter_pipeline_chunks()
-            res = ChaseSolver(grid, Hd, cfg).solve(rng=rng)
-        mode = (
-            f", pipelined filter ({chunks} chunks)"
-            if args.pipeline_filter else ""
-        )
+        if args.tuned:
+            from repro.perfmodel.autotune import applied, autotune
+
+            report = autotune(
+                args.ranks, H.shape[0], nev, nex,
+                backend=_BACKENDS[args.backend],
+            )
+            best = report.best.config
+            print(f"tuned config: {best.label()} "
+                  f"(modeled x{report.speedup:.3f} vs default)")
+            with applied(best, n_ranks=args.ranks,
+                         backend=_BACKENDS[args.backend]) as grid:
+                if args.overlap is not None:
+                    grid.set_overlap_efficiency(args.overlap)
+                chunks = filter_pipeline_chunks()
+                Hd = DistributedHermitian.from_dense(grid, H)
+                res = ChaseSolver(grid, Hd, cfg).solve(rng=rng)
+            mode = (
+                f", pipelined filter ({chunks} chunks)"
+                if best.pipeline_chunks else ""
+            )
+        else:
+            cluster = VirtualCluster(
+                args.ranks, backend=_BACKENDS[args.backend],
+                topology=args.topology, collective_algo=args.coll_algo,
+            )
+            grid = Grid2D(cluster)
+            if args.overlap is not None:
+                grid.set_overlap_efficiency(args.overlap)
+            Hd = DistributedHermitian.from_dense(grid, H)
+            with filter_pipeline(args.pipeline_filter, args.pipeline_chunks):
+                chunks = filter_pipeline_chunks()
+                res = ChaseSolver(grid, Hd, cfg).solve(rng=rng)
+            mode = (
+                f", pipelined filter ({chunks} chunks)"
+                if args.pipeline_filter else ""
+            )
         print(f"simulated {grid.p}x{grid.q} grid, backend={args.backend}{mode}")
         print(f"modeled time-to-solution: {res.makespan:.4f} s")
     else:
@@ -166,6 +200,48 @@ def _cmd_strong(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Model-driven configuration search (DESIGN.md §5e)."""
+    from repro.perfmodel.autotune import autotune
+
+    nex = args.nex if args.nex is not None else max(2, args.nev // 2)
+    report = autotune(
+        args.ranks, args.n, args.nev, nex,
+        backend=_BACKENDS[args.backend],
+        iterations=args.iterations,
+    )
+    if args.smoke:
+        ok = report.best.makespan <= report.default.makespan
+        print(f"tune smoke: best {report.best.config.label()} "
+              f"{report.best.makespan * 1e3:.3f} ms vs default "
+              f"{report.default.makespan * 1e3:.3f} ms "
+              f"(x{report.speedup:.3f}) -> {'OK' if ok else 'REGRESSION'}")
+        return 0 if ok else 1
+    rows = []
+    shown = report.results[: args.top] if args.top else report.results
+    for i, r in enumerate(shown, 1):
+        rows.append([
+            i, r.config.label(),
+            f"{r.makespan * 1e3:.3f}" if r.feasible else "OOM",
+            f"{r.filter_time * 1e3:.3f}",
+            f"{r.qr_time * 1e3:.3f}",
+            f"{r.comm_time * 1e3:.3f}",
+            "default" if r.is_default else "",
+        ])
+    print(render_table(
+        ["#", "config", "makespan (ms)", "filter", "QR", "comm", ""],
+        rows,
+        title=(
+            f"autotune: {args.ranks} ranks, N={args.n}, "
+            f"ne={args.nev + nex}, backend={args.backend} "
+            f"({len(report.results)} candidates, modeled dry runs)"
+        ),
+    ))
+    print(f"winner: {report.best.config.label()} — modeled "
+          f"x{report.speedup:.3f} vs the untuned default")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Condensed end-to-end reproduction: one representative check per
     experiment, written as a plain-text report."""
@@ -258,6 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--overlap", type=float, default=None,
                    help="nonblocking overlap efficiency in [0,1] "
                         "(default: backend model's value)")
+    s.add_argument("--coll-algo",
+                   choices=("ring", "tree", "hierarchical", "auto"),
+                   default=None,
+                   help="collective algorithm (default: REPRO_COLL_ALGO "
+                        "env var, else ring — the seed behavior)")
+    s.add_argument("--topology", choices=("auto",), default=None,
+                   help="attach a fat-tree interconnect for hop-aware "
+                        "collective costing (DESIGN.md §5e)")
+    s.add_argument("--tuned", action="store_true",
+                   help="run the model-driven autotuner first and solve "
+                        "under the winning configuration (implies a "
+                        "fat-tree topology; see 'repro tune')")
     s.set_defaults(func=_cmd_solve)
 
     s = sub.add_parser("suite", help="run the Table 1 suite")
@@ -272,6 +360,25 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("strong", help="Fig. 3b strong-scaling points")
     s.add_argument("--nodes", type=int, nargs="+", default=[4, 36, 144])
     s.set_defaults(func=_cmd_strong)
+
+    s = sub.add_parser(
+        "tune",
+        help="rank simulated configurations by modeled makespan "
+             "(grid shape x collective algo x pipelining x fusion)",
+    )
+    s.add_argument("--ranks", type=int, default=8)
+    s.add_argument("--n", type=int, default=800, help="matrix size")
+    s.add_argument("--nev", type=int, default=96)
+    s.add_argument("--nex", type=int, default=32)
+    s.add_argument("--backend", choices=sorted(_BACKENDS), default="nccl")
+    s.add_argument("--iterations", type=int, default=2,
+                   help="subspace iterations in the modeled dry run")
+    s.add_argument("--top", type=int, default=12,
+                   help="rows of the ranked table to print (0 = all)")
+    s.add_argument("--smoke", action="store_true",
+                   help="one-line check that the winner's modeled makespan "
+                        "is <= the untuned default's; exit 1 otherwise")
+    s.set_defaults(func=_cmd_tune)
 
     s = sub.add_parser(
         "reproduce",

@@ -737,7 +737,9 @@ class DistributedHemm:
         group_cost = []
         for comm, bufs, _s, _c in groups:
             nb_full = float(nbytes_of(bufs[0]))
-            d_full = comm.model.allreduce(nb_full, comm.size, comm.spans_nodes)
+            # routed through the communicator's selected collective
+            # algorithm/topology so chunked charges match blocking ones
+            d_full = comm.collective_time("allreduce", nb_full)
             st_full = (comm.machine.pcie.time(nb_full)
                        if comm.backend.stages_through_host else 0.0)
             group_cost.append((d_full, st_full))

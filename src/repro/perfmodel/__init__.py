@@ -33,8 +33,24 @@ from repro.perfmodel.kernels import (
     heevd_flops,
     KernelTimeModel,
 )
-from repro.perfmodel.collectives import CollectiveModel, MpiModel, NcclModel
+from repro.perfmodel.collectives import (
+    CollectiveAlgo,
+    CollectiveCharge,
+    CollectiveModel,
+    CommTopology,
+    MpiModel,
+    NcclModel,
+    collective_cost,
+)
 from repro.perfmodel.topology import FatTree
+from repro.perfmodel.autotune import (
+    TuneConfig,
+    TuneReport,
+    TuneResult,
+    autotune,
+    default_config,
+    enumerate_candidates,
+)
 from repro.perfmodel.memory import (
     chase_new_scheme_bytes,
     chase_lms_bytes,
@@ -58,7 +74,17 @@ __all__ = [
     "CollectiveModel",
     "MpiModel",
     "NcclModel",
+    "CollectiveAlgo",
+    "CollectiveCharge",
+    "CommTopology",
+    "collective_cost",
     "FatTree",
+    "TuneConfig",
+    "TuneReport",
+    "TuneResult",
+    "autotune",
+    "default_config",
+    "enumerate_candidates",
     "chase_new_scheme_bytes",
     "chase_lms_bytes",
     "fits_on_device",

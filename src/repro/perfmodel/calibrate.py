@@ -19,6 +19,18 @@ rates: device-side NCCL collectives progress at full rate (default
 compute-overlapped ``Iallreduce`` against a back-to-back one and set
 the measured fraction via ``Grid2D.set_overlap_efficiency`` (or the
 CLI ``--overlap`` flag); ``0.0`` recovers fully blocking behaviour.
+
+The same applies to the **topology derates** of the hierarchical
+collectives (``CollectiveModel.hop_latency`` and ``oversub_penalty``,
+DESIGN.md §5e): a single-node calibration sees no switch fabric, so the
+defaults are kept and every communicator on a calibrated machine is
+intra-node — :func:`~repro.perfmodel.collectives.collective_cost`
+degenerates to the flat model and the algorithm choice (including
+``REPRO_COLL_ALGO`` and ``repro tune``'s winner) changes nothing
+locally, exactly as on one real node.  To calibrate the derates on a
+cluster, fit ``hop_latency`` to the latency gap between same-leaf and
+cross-core ping-pongs and ``oversub_penalty`` to the busbw loss of an
+all-to-all at full core oversubscription.
 """
 
 from __future__ import annotations

@@ -3,13 +3,20 @@
 from __future__ import annotations
 
 import math
+import os
 
+from repro.perfmodel.collectives import CollectiveAlgo
 from repro.perfmodel.machine import MachineSpec, juwels_booster
+from repro.perfmodel.topology import FatTree
 from repro.runtime.backend import CommBackend
 from repro.runtime.rank import RankContext
 from repro.runtime.tracer import Tracer
 
 __all__ = ["VirtualCluster"]
+
+
+def _algo_from_env() -> CollectiveAlgo:
+    return CollectiveAlgo.parse(os.environ.get("REPRO_COLL_ALGO"))
 
 
 class VirtualCluster:
@@ -41,6 +48,18 @@ class VirtualCluster:
         Placement changes which collectives cross the network, a real
         tuning lever on clusters (see
         ``benchmarks/bench_ablation_placement.py``).
+    topology:
+        Interconnect description for hop-aware collective costing
+        (DESIGN.md §5e).  ``None`` (default) keeps the seed's flat
+        intra/inter-node boolean; a :class:`FatTree` derates deep
+        crossings; the string ``"auto"`` builds a two-level fat tree
+        over the occupied nodes (8 nodes per leaf switch).
+    collective_algo:
+        Default :class:`CollectiveAlgo` for communicators built on this
+        cluster (``ring`` / ``tree`` / ``hierarchical`` / ``auto``).
+        ``None`` reads the ``REPRO_COLL_ALGO`` environment variable and
+        falls back to ``ring`` — the seed behavior, bit-identical
+        charges.
     """
 
     def __init__(
@@ -52,6 +71,8 @@ class VirtualCluster:
         gpus_per_rank: int = 1,
         phantom: bool = False,
         placement: str = "block",
+        topology: FatTree | str | None = None,
+        collective_algo: CollectiveAlgo | str | None = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -69,6 +90,16 @@ class VirtualCluster:
         self.placement = placement
         self.tracer = Tracer()
         n_nodes = math.ceil(n_ranks / ranks_per_node)
+        if topology == "auto":
+            topology = FatTree(n_nodes, nodes_per_leaf=8)
+        elif topology is not None and not isinstance(topology, FatTree):
+            raise TypeError(f"topology must be a FatTree, 'auto' or None, "
+                            f"got {topology!r}")
+        self.topology = topology
+        self.collective_algo = (
+            _algo_from_env() if collective_algo is None
+            else CollectiveAlgo.parse(collective_algo)
+        )
 
         def node_of(r: int) -> int:
             if placement == "block":
@@ -96,6 +127,19 @@ class VirtualCluster:
     def n_nodes(self) -> int:
         """Number of (simulated) compute nodes occupied."""
         return math.ceil(self.n_ranks / self.ranks_per_node)
+
+    def set_collective_algo(self, algo: CollectiveAlgo | str | None
+                            ) -> CollectiveAlgo:
+        """Set the default algorithm for *future* communicators.
+
+        Communicators already built (e.g. by an existing
+        :class:`~repro.runtime.grid.Grid2D`) are not retargeted — use
+        ``Grid2D.set_collective_algo`` for those.  Returns the previous
+        default.
+        """
+        prev = self.collective_algo
+        self.collective_algo = CollectiveAlgo.parse(algo)
+        return prev
 
     def makespan(self) -> float:
         """Current parallel time: the furthest-ahead rank clock."""

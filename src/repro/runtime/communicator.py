@@ -38,6 +38,13 @@ from numbers import Number
 import numpy as np
 
 from repro.arrays import is_phantom, nbytes_of
+from repro.perfmodel.collectives import (
+    CollectiveAlgo,
+    CollectiveCharge,
+    CommTopology,
+    collective_cost,
+)
+from repro.perfmodel.topology import FatTree
 from repro.runtime.rank import RankContext
 
 __all__ = ["Communicator", "CommStats", "CollectiveRequest"]
@@ -49,34 +56,69 @@ class CommStats:
     These counters back the paper's Sec. 2.3 argument quantitatively:
     the v1.2 gather-by-broadcasts pattern's *message count* grows with
     the communicator while the new scheme's stays constant.
+
+    The legacy triple (``collectives``, ``messages``, ``bytes_moved``)
+    is algorithm-independent: it records the collective *sequence* the
+    program issued, with the flat modeled message counts, whatever
+    :class:`~repro.perfmodel.collectives.CollectiveAlgo` is costing it —
+    so :meth:`as_tuple` stays comparable across every execution mode
+    and algorithm.  The per-level counters (``intra_*``/``inter_*``)
+    additionally attribute each collective to the switch levels the
+    *selected* algorithm actually exercises;
+    ``intra_bytes + inter_bytes == bytes_moved`` always.
     """
 
-    __slots__ = ("collectives", "messages", "bytes_moved")
+    __slots__ = ("collectives", "messages", "bytes_moved",
+                 "intra_messages", "inter_messages",
+                 "intra_bytes", "inter_bytes")
 
     def __init__(self) -> None:
         self.collectives = 0   # collective operations issued
         self.messages = 0      # modeled point-to-point messages inside them
         self.bytes_moved = 0.0 # payload bytes per participant, summed
+        self.intra_messages = 0   # modeled messages on intra-node links
+        self.inter_messages = 0   # modeled messages on inter-node links
+        self.intra_bytes = 0.0    # bytes_moved share attributed intra-node
+        self.inter_bytes = 0.0    # bytes_moved share attributed inter-node
 
-    def record(self, nbytes: float, p: int, messages: int) -> None:
-        """Account one collective of ``nbytes`` payload over ``p`` ranks."""
+    def record(self, nbytes: float, p: int, messages: int,
+               charge: CollectiveCharge | None = None) -> None:
+        """Account one collective of ``nbytes`` payload over ``p`` ranks.
+
+        ``charge`` (the routed cost, when the caller has one) carries
+        the per-level attribution; without it the level counters are
+        left untouched (external callers that only track the legacy
+        triple).
+        """
         self.collectives += 1
         self.messages += messages
         self.bytes_moved += nbytes * p
+        if charge is not None:
+            self.intra_messages += charge.intra_messages
+            self.inter_messages += charge.inter_messages
+            self.intra_bytes += charge.intra_bytes
+            self.inter_bytes += charge.inter_bytes
 
     def as_tuple(self) -> tuple[int, int, float]:
         """``(collectives, messages, bytes_moved)`` — comparable snapshot.
 
         The execution-mode invariant (DESIGN.md §5b/§5c) is asserted by
         comparing these tuples across runs: every mode must issue the
-        identical collective sequence.
+        identical collective sequence.  The tuple layout is frozen —
+        new counters go to :meth:`levels_tuple`, never here.
         """
         return (self.collectives, self.messages, self.bytes_moved)
+
+    def levels_tuple(self) -> tuple[int, int, float, float]:
+        """``(intra_messages, inter_messages, intra_bytes, inter_bytes)``."""
+        return (self.intra_messages, self.inter_messages,
+                self.intra_bytes, self.inter_bytes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"CommStats(collectives={self.collectives}, "
-            f"messages={self.messages}, bytes={self.bytes_moved:.3g})"
+            f"messages={self.messages}, bytes={self.bytes_moved:.3g}, "
+            f"intra/inter bytes={self.intra_bytes:.3g}/{self.inter_bytes:.3g})"
         )
 
 
@@ -198,9 +240,20 @@ class CollectiveRequest:
 
 
 class Communicator:
-    """An ordered group of ranks, analogous to an MPI/NCCL communicator."""
+    """An ordered group of ranks, analogous to an MPI/NCCL communicator.
 
-    def __init__(self, ranks: list[RankContext]):
+    ``tree`` (a :class:`FatTree`, usually inherited from the owning
+    :class:`~repro.runtime.cluster.VirtualCluster`) enables hop-aware
+    link costing; ``algo`` selects the collective algorithm
+    (:class:`CollectiveAlgo`; default ``ring`` = the seed models' flat
+    behavior, bit-identical charges).  Both affect modeled time and the
+    per-level CommStats counters only — data movement and numerics are
+    identical under every selection.
+    """
+
+    def __init__(self, ranks: list[RankContext], *,
+                 tree: FatTree | None = None,
+                 algo: CollectiveAlgo | str | None = None):
         if not ranks:
             raise ValueError("communicator needs at least one rank")
         self.ranks = list(ranks)
@@ -212,6 +265,10 @@ class Communicator:
         self.machine = machine
         self.model = backend.collective_model(machine)
         self.stats = CommStats()
+        # membership is immutable: node set, topology profile and the
+        # spans-nodes flag are computed once here, not per collective
+        self.topology = CommTopology((r.node for r in ranks), tree)
+        self.algo = CollectiveAlgo.parse(algo)
 
     # -- topology -----------------------------------------------------------------
     @property
@@ -221,8 +278,36 @@ class Communicator:
 
     @property
     def spans_nodes(self) -> bool:
-        """True when the communicator crosses node boundaries."""
-        return len({r.node for r in self.ranks}) > 1
+        """True when the communicator crosses node boundaries (cached)."""
+        return self.topology.spans_nodes
+
+    def set_collective_algo(self, algo: CollectiveAlgo | str | None
+                            ) -> CollectiveAlgo:
+        """Select the collective algorithm; returns the previous one."""
+        prev = self.algo
+        self.algo = CollectiveAlgo.parse(algo)
+        return prev
+
+    def set_topology(self, tree: FatTree | None) -> None:
+        """Attach (or detach, with ``None``) a fat tree for hop-aware costing."""
+        self.topology = CommTopology(self.topology.nodes, tree)
+
+    def _charge_for(self, op: str, nbytes: float) -> CollectiveCharge:
+        """Route one collective through the selected algorithm/topology."""
+        return collective_cost(
+            self.model, op, nbytes, self.size, self.topology, self.algo
+        )
+
+    def collective_time(self, op: str, nbytes: float) -> float:
+        """Modeled seconds of one ``op`` under the selected algorithm.
+
+        Pure query — charges nothing and records nothing.  Used by the
+        pipelined filter to size its full-payload chunk charges and by
+        the autotuner's dry runs.
+        """
+        if self.size <= 1:
+            return 0.0
+        return self._charge_for(op, nbytes).time
 
     def rank_index(self, rank: RankContext) -> int:
         """Position of ``rank`` within this communicator (its root id)."""
@@ -359,10 +444,12 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return list(buffers)
-        self.stats.record(nbytes, self.size, 2 * math.ceil(math.log2(self.size)))
+        charge = self._charge_for("allreduce", nbytes)
+        self.stats.record(nbytes, self.size,
+                          2 * math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h")
         self._barrier_entry()
-        self._charge_comm_all(self.model.allreduce(nbytes, self.size, self.spans_nodes))
+        self._charge_comm_all(charge.time)
         self._stage(nbytes, "h2d")
         return self._allreduce_move(buffers, scalar, shared, compute)
 
@@ -380,10 +467,12 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return list(buffers)
-        self.stats.record(nbytes, self.size, math.ceil(math.log2(self.size)))
+        charge = self._charge_for("bcast", nbytes)
+        self.stats.record(nbytes, self.size,
+                          math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h")
         self._barrier_entry()
-        self._charge_comm_all(self.model.bcast(nbytes, self.size, self.spans_nodes))
+        self._charge_comm_all(charge.time)
         self._stage(nbytes, "h2d")
         return self._bcast_move(buffers, scalar, root, shared, compute)
 
@@ -415,11 +504,12 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return CollectiveRequest._completed(self, list(buffers))
-        self.stats.record(nbytes, self.size, 2 * math.ceil(math.log2(self.size)))
+        charge = self._charge_for("allreduce", nbytes)
+        self.stats.record(nbytes, self.size,
+                          2 * math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h", seconds=stage_seconds)
         t_entry = max(r.clock.now for r in self.ranks)
-        d = self.model.allreduce(nbytes, self.size, self.spans_nodes) \
-            if duration is None else float(duration)
+        d = charge.time if duration is None else float(duration)
         return CollectiveRequest(
             self, "allreduce", list(buffers), nbytes, scalar, d, t_entry,
             shared=shared, compute=compute, stage_seconds=stage_seconds,
@@ -437,11 +527,12 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return CollectiveRequest._completed(self, list(buffers))
-        self.stats.record(nbytes, self.size, math.ceil(math.log2(self.size)))
+        charge = self._charge_for("bcast", nbytes)
+        self.stats.record(nbytes, self.size,
+                          math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h", seconds=stage_seconds)
         t_entry = max(r.clock.now for r in self.ranks)
-        d = self.model.bcast(nbytes, self.size, self.spans_nodes) \
-            if duration is None else float(duration)
+        d = charge.time if duration is None else float(duration)
         return CollectiveRequest(
             self, "bcast", list(buffers), nbytes, scalar, d, t_entry,
             shared=shared, compute=compute, root=root,
@@ -458,12 +549,11 @@ class Communicator:
             raise ValueError("one buffer per rank required")
         nbytes = float(np.mean([nbytes_of(b) if not isinstance(b, Number) else 8.0
                                 for b in buffers]))
-        self.stats.record(nbytes, self.size, max(self.size - 1, 0))
+        charge = self._charge_for("allgather", nbytes)
+        self.stats.record(nbytes, self.size, max(self.size - 1, 0), charge)
         self._stage(nbytes * self.size, "d2h")
         self._barrier_entry()
-        self._charge_comm_all(
-            self.model.allgather(nbytes, self.size, self.spans_nodes)
-        )
+        self._charge_comm_all(charge.time)
         self._stage(nbytes * self.size, "h2d")
         return [list(buffers) for _ in range(self.size)]
 
@@ -481,12 +571,12 @@ class Communicator:
         for root in range(self.size):
             b = buffers[root]
             nbytes = 8.0 if isinstance(b, Number) else float(nbytes_of(b))
-            self.stats.record(nbytes, self.size, math.ceil(math.log2(max(self.size, 2))))
+            charge = self._charge_for("bcast", nbytes)
+            self.stats.record(nbytes, self.size,
+                              math.ceil(math.log2(max(self.size, 2))), charge)
             self._stage(nbytes, "d2h")
             self._barrier_entry()
-            self._charge_comm_all(
-                self.model.bcast(nbytes, self.size, self.spans_nodes)
-            )
+            self._charge_comm_all(charge.time)
             self._stage(nbytes, "h2d")
         return [list(buffers) for _ in range(self.size)]
 

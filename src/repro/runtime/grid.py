@@ -53,12 +53,17 @@ class Grid2D:
         for i in range(self.p):
             for j in range(self.q):
                 cluster.ranks[i * self.q + j].coords = (i, j)
+        # communicators inherit the cluster's interconnect description and
+        # collective-algorithm default (DESIGN.md §5e)
+        tree, algo = cluster.topology, cluster.collective_algo
         self._row_comms = [
-            Communicator([self.rank_at(i, j) for j in range(self.q)])
+            Communicator([self.rank_at(i, j) for j in range(self.q)],
+                         tree=tree, algo=algo)
             for i in range(self.p)
         ]
         self._col_comms = [
-            Communicator([self.rank_at(i, j) for i in range(self.p)])
+            Communicator([self.rank_at(i, j) for i in range(self.p)],
+                         tree=tree, algo=algo)
             for j in range(self.q)
         ]
 
@@ -96,6 +101,23 @@ class Grid2D:
         for c in (*self._row_comms, *self._col_comms):
             c.set_overlap_efficiency(f)
 
+    def set_collective_algo(self, algo) -> None:
+        """Select the collective algorithm on every communicator.
+
+        ``algo`` is a :class:`~repro.perfmodel.collectives.CollectiveAlgo`
+        or its string value (``ring`` / ``tree`` / ``hierarchical`` /
+        ``auto``).  Modeled time and per-level CommStats change; data
+        movement, numerics and the legacy CommStats triple do not
+        (DESIGN.md §5e).
+        """
+        for c in (*self._row_comms, *self._col_comms):
+            c.set_collective_algo(algo)
+
+    def set_topology(self, tree) -> None:
+        """Attach (or detach) a fat tree on every communicator."""
+        for c in (*self._row_comms, *self._col_comms):
+            c.set_topology(tree)
+
     def comm_stats(self) -> tuple:
         """CommStats tuples of every row then column communicator.
 
@@ -104,6 +126,17 @@ class Grid2D:
         """
         return tuple(
             c.stats.as_tuple() for c in (*self._row_comms, *self._col_comms)
+        )
+
+    def comm_stats_levels(self) -> tuple:
+        """Per-level CommStats tuples, rows then columns (DESIGN.md §5e).
+
+        Each entry is ``(intra_messages, inter_messages, intra_bytes,
+        inter_bytes)``; the byte pair always sums to the corresponding
+        ``bytes_moved`` of :meth:`comm_stats`.
+        """
+        return tuple(
+            c.stats.levels_tuple() for c in (*self._row_comms, *self._col_comms)
         )
 
     def coords_of(self, rank: RankContext) -> tuple[int, int]:
