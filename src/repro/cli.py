@@ -24,6 +24,7 @@ DESIGN.md §5e).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -46,6 +47,18 @@ _BACKENDS = {
 }
 
 
+def _solve_or_fail(solver: ChaseSolver, rng):
+    """Run a solve, mapping an unrecoverable fault to ``None``."""
+    from repro.runtime import FaultError
+
+    try:
+        return solver.solve(rng=rng)
+    except FaultError as exc:
+        print(f"unrecoverable fault: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return None
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     if args.problem:
@@ -58,6 +71,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         nex = args.nex if args.nex is not None else max(2, nev // 2)
         print(f"Uniform matrix: N={args.n}, nev={nev}, nex={nex}")
     cfg = ChaseConfig(nev=nev, nex=nex, tol=args.tol)
+
+    # fault injection / checkpointing (DESIGN.md §5f)
+    fault_seed = args.faults
+    if fault_seed is None:
+        env = os.environ.get("REPRO_FAULT_SEED", "").strip()
+        fault_seed = int(env) if env else None
+    if (fault_seed is not None or args.checkpoint is not None) \
+            and not args.distributed:
+        print("--faults/--checkpoint require --distributed", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if fault_seed is not None:
+        from repro.runtime import FaultPlan
+
+        fault_plan = FaultPlan.random(
+            fault_seed, args.ranks,
+            horizon=args.fault_horizon, n_events=args.fault_events,
+        )
+        print(f"fault plan: seed={fault_seed}, {len(fault_plan)} events "
+              f"({', '.join(e.kind.value for e in fault_plan.events)})")
+    solver_kw = dict(faults=fault_plan, checkpoint_every=args.checkpoint)
 
     if args.distributed:
         if args.tuned:
@@ -76,7 +110,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                     grid.set_overlap_efficiency(args.overlap)
                 chunks = filter_pipeline_chunks()
                 Hd = DistributedHermitian.from_dense(grid, H)
-                res = ChaseSolver(grid, Hd, cfg).solve(rng=rng)
+                solver = ChaseSolver(grid, Hd, cfg, **solver_kw)
+                res = _solve_or_fail(solver, rng)
+                if res is None:
+                    return 3
             mode = (
                 f", pipelined filter ({chunks} chunks)"
                 if best.pipeline_chunks else ""
@@ -92,12 +129,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             Hd = DistributedHermitian.from_dense(grid, H)
             with filter_pipeline(args.pipeline_filter, args.pipeline_chunks):
                 chunks = filter_pipeline_chunks()
-                res = ChaseSolver(grid, Hd, cfg).solve(rng=rng)
+                solver = ChaseSolver(grid, Hd, cfg, **solver_kw)
+                res = _solve_or_fail(solver, rng)
+                if res is None:
+                    return 3
             mode = (
                 f", pipelined filter ({chunks} chunks)"
                 if args.pipeline_filter else ""
             )
         print(f"simulated {grid.p}x{grid.q} grid, backend={args.backend}{mode}")
+        if fault_plan is not None or args.checkpoint:
+            final = solver.grid
+            shrunk = (f", grid shrunk to {final.p}x{final.q}"
+                      if final is not grid else "")
+            print(f"fault tolerance: {res.recoveries} recoveries, "
+                  f"{res.checkpoints} checkpoints{shrunk}")
         print(f"modeled time-to-solution: {res.makespan:.4f} s")
     else:
         res = chase_serial(H, cfg, rng=rng)
@@ -346,6 +392,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the model-driven autotuner first and solve "
                         "under the winning configuration (implies a "
                         "fat-tree topology; see 'repro tune')")
+    s.add_argument("--faults", type=int, default=None, metavar="SEED",
+                   help="arm a seeded random fault plan on the simulated "
+                        "cluster (default: REPRO_FAULT_SEED env var; "
+                        "requires --distributed; DESIGN.md §5f)")
+    s.add_argument("--fault-events", type=int, default=4,
+                   help="events in the random fault plan (default 4)")
+    s.add_argument("--fault-horizon", type=float, default=0.01,
+                   help="model-time horizon in seconds over which "
+                        "comm-level fault events are scheduled")
+    s.add_argument("--checkpoint", type=int, default=None, metavar="K",
+                   help="checkpoint every K iterations (default: "
+                        "REPRO_CHECKPOINT_EVERY env var, else every "
+                        "iteration whenever faults are armed)")
     s.set_defaults(func=_cmd_solve)
 
     s = sub.add_parser("suite", help="run the Table 1 suite")

@@ -23,16 +23,18 @@ need values.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.linalg
 
 from repro.arrays import PhantomArray
 from repro.core.condest import estimate_condition
 from repro.core.config import ChaseConfig
 from repro.core.degrees import optimize_degrees, sort_by_degree
 from repro.core.filter import FilterWorkspace, chebyshev_filter
-from repro.core.lanczos import SpectralBounds, lanczos_bounds
+from repro.core.lanczos import SpectralBounds, lanczos_bounds, lanczos_ritz
 from repro.core.locking import plan_locking
 from repro.core.qr import QRReport, caqr_1d, cholesky_qr, shifted_cholesky_qr2
 from repro.core.rayleigh_ritz import rayleigh_ritz
@@ -42,12 +44,41 @@ from repro.baselines.scalapack_qr import hhqr_1d
 from repro.distributed.hemm import DistributedHemm
 from repro.distributed.hermitian import DistributedHermitian, global_indices
 from repro.distributed.multivector import DistributedMultiVector
+from repro.distributed.redistribute import redistribute_c_to_b
 from repro.perfmodel.kernels import KernelTimeModel, gemm_flops, geqrf_flops, heevd_flops
 from repro.perfmodel.memory import chase_lms_bytes, chase_new_scheme_bytes, fits_on_device
+from repro.runtime.faults import (
+    CHECKPOINT_BANDWIDTH,
+    CHECKPOINT_LATENCY,
+    CorruptionError,
+    ExecutorFaultError,
+    FaultError,
+    FaultPlan,
+    RankDeathError,
+    RecoveryExhaustedError,
+)
 from repro.runtime.grid import Grid2D
 from repro.runtime.tracer import PhaseBreakdown
 
 __all__ = ["ChaseSolver", "ChaseResult"]
+
+
+def _ldl_negative_inertia(D: np.ndarray) -> int:
+    """Number of negative eigenvalues of a block-diagonal LDL^T ``D``
+    (1x1 and 2x2 blocks, as returned by ``scipy.linalg.ldl``)."""
+    n = D.shape[0]
+    count = 0
+    i = 0
+    while i < n:
+        if i + 1 < n and D[i + 1, i] != 0:
+            w = np.linalg.eigvalsh(D[i : i + 2, i : i + 2])
+            count += int(np.sum(w < 0))
+            i += 2
+        else:
+            if D[i, i].real < 0:
+                count += 1
+            i += 1
+    return count
 
 
 @dataclass
@@ -65,6 +96,11 @@ class ChaseResult:
     timings: dict[str, PhaseBreakdown] = field(default_factory=dict)
     makespan: float = 0.0
     qr_variants: list[str] = field(default_factory=list)
+    #: fault tolerance (DESIGN.md §5f): recoveries performed, checkpoints
+    #: taken, and the injector's deterministic fault/recovery trajectory
+    recoveries: int = 0
+    checkpoints: int = 0
+    fault_log: list = field(default_factory=list)
 
 
 class ChaseSolver:
@@ -77,6 +113,11 @@ class ChaseSolver:
         config: ChaseConfig,
         scheme: str = "new",
         qr_mode: str = "auto",
+        *,
+        faults: FaultPlan | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+        max_recoveries: int = 8,
     ) -> None:
         if scheme not in ("new", "lms"):
             raise ValueError(f"unknown scheme {scheme!r}")
@@ -88,6 +129,19 @@ class ChaseSolver:
         self.scheme = scheme
         self.qr_mode = qr_mode
         self.hemm = DistributedHemm(H)
+        # fault tolerance (DESIGN.md §5f): `faults` arms a plan on the
+        # cluster; checkpoint cadence defaults to REPRO_CHECKPOINT_EVERY,
+        # then to every iteration whenever an injector is armed
+        if faults is not None:
+            grid.cluster.attach_faults(faults)
+        if checkpoint_every is None:
+            env = os.environ.get("REPRO_CHECKPOINT_EVERY", "").strip()
+            checkpoint_every = int(env) if env else None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.max_recoveries = int(max_recoveries)
+        self._last_ckpt: dict | None = None
+        self._ckpt_zero: dict | None = None
         self._check_memory()
 
     # ------------------------------------------------------------------ memory
@@ -156,6 +210,327 @@ class ChaseSolver:
             report.variant = "sCholeskyQR2"
             shifted_cholesky_qr2(grid, C, report)
         return report
+
+    # ------------------------------------------- fault tolerance (DESIGN.md §5f)
+    def _allocate_from(self, V: np.ndarray) -> tuple:
+        """Numeric allocation of C/C2/B/B2 with C distributed from ``V``."""
+        grid, H, ne = self.grid, self.H, self.cfg.ne
+        dtype = np.dtype(H.dtype)
+        C = DistributedMultiVector.from_global(grid, V, H.rowmap, "C")
+        C2 = DistributedMultiVector.zeros(grid, H.rowmap, "C", ne, dtype, False)
+        B = DistributedMultiVector.zeros(grid, H.colmap, "B", ne, dtype, False)
+        B2 = DistributedMultiVector.zeros(grid, H.colmap, "B", ne, dtype, False)
+        return C, C2, B, B2
+
+    def _fs_sync(self) -> None:
+        """Barrier around checkpoint I/O: sync all current clocks to max."""
+        ranks = self.grid.ranks
+        t = max(r.clock.now for r in ranks)
+        for r in ranks:
+            r.clock.sync_to(t)
+
+    def _snapshot(self, it: int, locked: int, ritzv, resd, degs_full,
+                  C: DistributedMultiVector, b_sup: float, tol_abs: float,
+                  trace: ConvergenceTrace) -> dict:
+        """The restartable state at the end of outer iteration ``it``.
+
+        C == C2 on the locked columns and the active columns of C2 are
+        dead state (overwritten before any read in the next iteration),
+        so the gathered V panel plus the scalars below restart the loop
+        bit-identically (regression-tested in tests/test_checkpoint.py).
+        """
+        return {
+            "iteration": int(it),
+            "locked": int(locked),
+            "trace_len": len(trace.records),
+            "V": C.gather(0),
+            "ritzv": np.asarray(ritzv).copy(),
+            "resd": None if resd is None else np.asarray(resd).copy(),
+            "degrees": np.asarray(degs_full).copy(),
+            "b_sup": float(b_sup),
+            "tol_abs": float(tol_abs),
+        }
+
+    def _charge_checkpoint_write(self) -> None:
+        """Synchronous checkpoint: the column-0 replica group streams its
+        C row block to the modeled parallel filesystem (RECOVERY)."""
+        grid = self.grid
+        itemsize = np.dtype(self.H.dtype).itemsize
+        ne = self.cfg.ne
+        self._fs_sync()
+        for i in range(grid.p):
+            nbytes = self.H.rowmap.local_size(i) * ne * itemsize
+            grid.rank_at(i, 0).charge_recovery(
+                CHECKPOINT_LATENCY + nbytes / CHECKPOINT_BANDWIDTH
+            )
+        self._fs_sync()
+
+    def _charge_restore_read(self) -> None:
+        """Restore: every surviving rank streams its block back in
+        parallel (replicas re-read independently — the restart of a real
+        cluster repopulates every device)."""
+        grid = self.grid
+        itemsize = np.dtype(self.H.dtype).itemsize
+        ne = self.cfg.ne
+        self._fs_sync()
+        for r in grid.ranks:
+            i, _j = r.coords
+            nbytes = self.H.rowmap.local_size(i) * ne * itemsize
+            r.charge_recovery(CHECKPOINT_LATENCY + nbytes / CHECKPOINT_BANDWIDTH)
+        self._fs_sync()
+
+    def _take_checkpoint(self, state: dict, tracer, charge: bool) -> None:
+        self._last_ckpt = state
+        if self._ckpt_zero is None:
+            self._ckpt_zero = state
+        if charge:
+            with tracer.phase("Checkpoint"):
+                self._charge_checkpoint_write()
+        if self.checkpoint_path is not None:
+            from repro import io  # late import (io imports ChaseResult)
+
+            io.save_checkpoint(state, self.checkpoint_path)
+
+    def _load_checkpoint_state(self, restart: bool = False) -> dict:
+        """The most recent checkpoint, round-tripped through disk when a
+        checkpoint path is configured.
+
+        ``restart`` selects the clean initial snapshot instead — used
+        when an integrity check invalidated every later checkpoint."""
+        if restart:
+            if self._ckpt_zero is None:  # pragma: no cover - guarded by callers
+                raise RecoveryExhaustedError("no initial snapshot to restart from")
+            return self._ckpt_zero
+        if self.checkpoint_path is not None and os.path.exists(self.checkpoint_path):
+            from repro import io
+
+            return io.load_checkpoint(self.checkpoint_path)
+        if self._last_ckpt is None:  # pragma: no cover - guarded by callers
+            raise RecoveryExhaustedError("no checkpoint available to restore")
+        return self._last_ckpt
+
+    def _shrink_to_survivors(self, dead_ranks) -> int:
+        """Rebuild grid/H/HEMM on the surviving ranks; returns the matvec
+        count of the HEMM instance being replaced (so totals stay honest)."""
+        old_mv = self.hemm.matvecs
+        dense = self.H.to_dense()
+        self.grid = self.grid.shrink(dead_ranks)
+        self.H = DistributedHermitian.from_dense(self.grid, dense)
+        self.hemm = DistributedHemm(self.H)
+        # each survivor reads its new H block from the replicated source
+        # (matrix re-layout is real recovery work, charged as RECOVERY)
+        itemsize = np.dtype(self.H.dtype).itemsize
+        for r in self.grid.ranks:
+            i, j = r.coords
+            nbytes = (self.H.rowmap.local_size(i)
+                      * self.H.colmap.local_size(j) * itemsize)
+            r.charge_recovery(CHECKPOINT_LATENCY + nbytes / CHECKPOINT_BANDWIDTH)
+        self._fs_sync()
+        try:
+            self._check_memory()
+        except MemoryError as exc:
+            raise RecoveryExhaustedError(
+                f"surviving {self.grid.p}x{self.grid.q} grid cannot hold the "
+                f"problem: {exc}"
+            ) from exc
+        return old_mv
+
+    def _restore(self, trace: ConvergenceTrace, restart: bool = False,
+                 rng: np.random.Generator | None = None) -> tuple:
+        """Restore the last checkpoint onto the *current* grid.
+
+        Rebuilds C/C2 from the archived V panel, re-primes the locked
+        columns of B2 with the production redistribution path
+        (:func:`redistribute_c_to_b` — the same collectives, honestly
+        charged), and truncates the convergence trace to the checkpoint.
+        """
+        state = self._load_checkpoint_state(restart)
+        grid, H, ne = self.grid, self.H, self.cfg.ne
+        dtype = np.dtype(H.dtype)
+        self._charge_restore_read()
+        V = np.asarray(state["V"], dtype=dtype)
+        if restart and rng is not None:
+            # a from-zero restart replays with a *fresh* random basis:
+            # the invalidated trajectory was produced by the archived V
+            # (corrupted, or converged to an unlucky locking order that
+            # the acceptance check rejected), so an identical replay
+            # could deterministically reproduce the same rejection
+            V = rng.standard_normal((H.N, ne))
+            if dtype.kind == "c":
+                V = V + 1j * rng.standard_normal((H.N, ne))
+            V = V.astype(dtype)
+        C = DistributedMultiVector.from_global(grid, V, H.rowmap, "C")
+        C2 = DistributedMultiVector.from_global(grid, V, H.rowmap, "C")
+        B = DistributedMultiVector.zeros(grid, H.colmap, "B", ne, dtype, False)
+        B2 = DistributedMultiVector.zeros(grid, H.colmap, "B", ne, dtype, False)
+        locked = int(state["locked"])
+        if locked > 0:
+            redistribute_c_to_b(grid, C2, B2, cols=slice(0, locked))
+        del trace.records[int(state["trace_len"]):]
+        resd = state["resd"]
+        return (
+            C, C2, B, B2,
+            int(state["iteration"]), locked,
+            np.asarray(state["ritzv"]).copy(),
+            None if resd is None else np.asarray(resd).copy(),
+            np.asarray(state["degrees"]).copy(),
+        )
+
+    def _poll_solver_faults(self, injector, it: int,
+                            C: DistributedMultiVector,
+                            C2: DistributedMultiVector) -> None:
+        """Iteration-start fault poll (tier-invariant injection point).
+
+        Death is re-checked here so it is detected even on grids whose
+        collectives all degenerate to size 1; kernel crashes and bit
+        corruption are keyed to the iteration index, which is identical
+        across every execution tier (including the pipelined filter,
+        whose model times legitimately differ).
+        """
+        injector.poll(max(r.clock.now for r in self.grid.ranks))
+        dead = injector.dead_among(self.grid.ranks)
+        if dead:
+            raise RankDeathError(dead)
+        ev = injector.crash_for(it)
+        if ev is not None:
+            raise ExecutorFaultError(
+                f"kernel batch aborted at iteration {it} "
+                f"(simulated device crash at rank {ev.rank})"
+            )
+        for cev in injector.corruptions_for(it):
+            self._apply_corruption(C, cev)
+            self._apply_corruption(C2, cev)
+
+    def _apply_corruption(self, mv: DistributedMultiVector, ev) -> None:
+        """Flip one exponent bit of one element of the event rank's local
+        C-layout block — written through every replica so each execution
+        tier sees the identical corrupted state."""
+        if mv.is_phantom:
+            return
+        grid = self.grid
+        i = ev.rank % grid.p
+        ref = mv.blocks[(i, 0)]
+        if ref.size == 0:
+            return
+        rng = np.random.default_rng(ev.seed)
+        r = int(rng.integers(ref.shape[0]))
+        c = int(rng.integers(mv.ne))
+        val = np.array([ref[r, c]], dtype=mv.dtype)
+        real = val.view(np.float32 if val.real.dtype == np.float32
+                        else np.float64)
+        w = int(rng.integers(real.size))
+        # exponent-field bits below the MSB: a large, always-finite
+        # perturbation (an MSB flip could produce inf/nan, which models a
+        # different failure; a mantissa flip would vanish below tol)
+        if real.dtype == np.float64:
+            u = real.view(np.uint64)
+            u[w] ^= np.uint64(1) << np.uint64(53 + int(rng.integers(9)))
+        else:
+            u = real.view(np.uint32)
+            u[w] ^= np.uint32(1) << np.uint32(23 + int(rng.integers(7)))
+        if mv.aliased:
+            mv.blocks[(i, 0)][r, c] = val[0]
+        else:
+            for j in range(grid.q):
+                mv.blocks[(i, j)][r, c] = val[0]
+
+    def _verify_locked(self, C, C2, B, B2, ritzv, locked: int,
+                       tol_abs: float, tracer) -> None:
+        """Corruption detection: recompute every residual and re-check the
+        locked (supposedly converged) columns against the tolerance.
+
+        This is the honestly-charged distributed residual sweep of
+        Algorithm 2 run over *all* columns; silent corruption of a locked
+        eigenpair is impossible as long as the sweep runs (the chaos
+        suite's no-silent-wrong guarantee rests on it)."""
+        if locked == 0:
+            return
+        with tracer.phase("Verify"):
+            resd_all = residuals(self.hemm, C, C2, B, B2, ritzv, 0)
+        ok = resd_all[:locked] <= 10.0 * tol_abs
+        bad = np.nonzero(~ok)[0]  # ~ also catches NaN
+        if bad.size:
+            col = int(bad[0])
+            raise CorruptionError(
+                f"locked column {col} failed the residual re-check "
+                f"({resd_all[col]:.3e} > {10.0 * tol_abs:.3e})",
+                column=col,
+                residual=float(resd_all[col]),
+            )
+
+    def _verify_spectrum(self, ritzv, nev: int, b_sup: float,
+                         tol_abs: float, tracer) -> None:
+        """Acceptance check before a converged solve returns.
+
+        Residual checks cannot see a *lost search direction*: corruption
+        of an active column can make the solver converge to genuine
+        eigenpairs that are not the lowest ones.  Fresh, honestly
+        charged verification Lanczos sweeps probe the spectrum; each
+        probe Ritz value carries a rigorous residual bound
+        (``|theta - lambda| <= resid`` for some true eigenvalue), so a
+        probe value below the accepted ceiling whose distance to every
+        accepted eigenvalue exceeds its bound *proves* the acceptance
+        missed spectrum — with no false positives regardless of probe
+        quality.  A failure invalidates every checkpoint taken since
+        the corruption, so recovery restarts from the clean initial
+        snapshot.
+        """
+        accepted = np.sort(np.asarray(ritzv[:nev], dtype=np.float64))
+        if not np.all(np.isfinite(accepted)):
+            raise CorruptionError(
+                "non-finite accepted Ritz values", restart=True)
+        if float(accepted[-1]) > b_sup + 100.0 * tol_abs:
+            raise CorruptionError(
+                "accepted Ritz value above the spectrum upper bound",
+                restart=True)
+        with tracer.phase("Verify"):
+            probes = lanczos_ritz(
+                self.hemm,
+                steps=max(self.cfg.lanczos_steps, 2 * nev + 10),
+                runs=2, rng=np.random.default_rng(0x5FC),
+            )
+        width = max(float(b_sup) - float(accepted[0]), 1.0)
+        slack = max(50.0 * tol_abs, 1e-9 * width)
+        for theta, resid in probes:
+            mask = theta < accepted[-1] - slack
+            if not np.any(mask):
+                continue
+            th, rs = theta[mask], resid[mask]
+            gaps = np.min(np.abs(th[:, None] - accepted[None, :]), axis=1)
+            bad = np.nonzero(gaps > rs + slack)[0]
+            if bad.size:
+                j = int(bad[0])
+                raise CorruptionError(
+                    f"verification Lanczos proved an eigenvalue near "
+                    f"{th[j]:.6g} (+- {rs[j]:.2g}) that the accepted set "
+                    f"misses: a search direction was lost to corruption",
+                    restart=True)
+        # The Lanczos probe can only prove a miss when its Ritz value has
+        # converged tightly enough; an LDL^T inertia count (Sylvester's
+        # law of inertia, spectrum slicing) at a shift just above the
+        # accepted ceiling is decisive: it yields the exact number of
+        # eigenvalues below the shift, so exactly nev accepted values
+        # means no interior eigenvalue was lost.  Numeric mode only; the
+        # factorization is charged as a rank-distributed N^3/3 solve.
+        blk = self.H.blocks[(0, 0)]
+        if isinstance(blk, PhantomArray):
+            return
+        sigma = float(accepted[-1]) + slack
+        with tracer.phase("Verify"):
+            dense = self.H.to_dense()
+            shifted = dense - sigma * np.eye(self.H.N, dtype=dense.dtype)
+            _lu, D, _perm = scipy.linalg.ldl(shifted)
+            count = _ldl_negative_inertia(D)
+            n_ranks = max(len(self.grid.ranks), 1)
+            share = (self.H.N ** 3 / 3.0) / n_ranks
+            for r in self.grid.ranks:
+                r.charge_compute(r.kernel_model.time("gemm", share))
+            self._fs_sync()
+        if count > nev:
+            raise CorruptionError(
+                f"inertia count found {count} eigenvalues below "
+                f"{sigma:.6g} but only {nev} were accepted: a search "
+                f"direction was lost to corruption", restart=True)
 
     # ------------------------------------------------------------ LMS scheme
     def _charge_all_ranks(self, kind: str, flops: float, phase_done=None) -> None:
@@ -299,18 +674,70 @@ class ChaseSolver:
         rng: np.random.Generator | None = None,
         return_vectors: bool = False,
     ) -> ChaseResult:
-        """Numeric solve to convergence (Algorithm 2)."""
-        rng = rng if rng is not None else np.random.default_rng()
-        cfg, grid, H = self.cfg, self.grid, self.H
-        ne, nev = cfg.ne, cfg.nev
-        tracer = grid.cluster.tracer
-        C, C2, B, B2 = self._allocate(False, V0, rng)
+        """Numeric solve to convergence (Algorithm 2).
 
-        with tracer.phase("Lanczos"):
-            bounds = lanczos_bounds(
-                self.hemm, ne, steps=cfg.lanczos_steps, runs=cfg.lanczos_runs, rng=rng
-            )
-        lanczos_mv = self.hemm.matvecs
+        With a fault plan armed on the cluster (DESIGN.md §5f), typed
+        faults raised by the runtime hooks trigger the recovery policy —
+        shrink to the surviving grid if ranks died, restore the last
+        checkpoint, resume filtering — up to ``max_recoveries`` times;
+        every retry, checkpoint and re-layout is charged as RECOVERY.
+        With no plan armed, the control flow, modeled charges and
+        numerics are bit-identical to a build without fault support.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        cfg = self.cfg
+        ne, nev = cfg.ne, cfg.nev
+        tracer = self.grid.cluster.tracer
+        injector = self.grid.cluster.faults
+        ckpt_every = self.checkpoint_every
+        if ckpt_every is None:
+            ckpt_every = 1 if injector is not None else 0
+        resilient = injector is not None or ckpt_every > 0
+
+        H = self.H
+        dtype = np.dtype(H.dtype)
+        if V0 is not None:
+            if V0.shape != (H.N, ne):
+                raise ValueError(f"V0 must be {H.N}x{ne}")
+            V_init = V0.astype(dtype)
+        else:
+            V_init = rng.standard_normal((H.N, ne))
+            if dtype.kind == "c":
+                V_init = V_init + 1j * rng.standard_normal((H.N, ne))
+            V_init = V_init.astype(dtype)
+
+        # allocation + Lanczos, retried on early faults: a rank death
+        # before the first checkpoint restarts the prelude on survivors
+        # (the initial basis is a kept global matrix, so nothing is lost)
+        mv_base = 0
+        recoveries = 0
+        while True:
+            try:
+                C, C2, B, B2 = self._allocate_from(V_init)
+                with tracer.phase("Lanczos"):
+                    bounds = lanczos_bounds(
+                        self.hemm, ne, steps=cfg.lanczos_steps,
+                        runs=cfg.lanczos_runs, rng=rng,
+                    )
+                break
+            except FaultError as err:
+                if injector is None or isinstance(err, RecoveryExhaustedError):
+                    raise
+                recoveries += 1
+                injector.recoveries = recoveries
+                injector.note("fault", type(err).__name__, 0)
+                if recoveries > self.max_recoveries:
+                    raise RecoveryExhaustedError(
+                        f"exceeded {self.max_recoveries} recoveries during "
+                        f"startup; last fault: {err}"
+                    ) from err
+                with tracer.phase("Recovery"):
+                    dead_here = ({r.rank_id for r in self.grid.ranks}
+                                 & injector.dead)
+                    if dead_here:
+                        mv_base += self._shrink_to_survivors(injector.dead)
+                H = self.H
+        mv_start = mv_base + self.hemm.matvecs
         b_sup = bounds.b_sup
         tol_abs = cfg.tol * max(abs(bounds.mu1), abs(b_sup))
 
@@ -322,9 +749,40 @@ class ChaseSolver:
         it = 0
         # ping-pong buffers reused by every filter call of the solve
         filter_ws = FilterWorkspace()
+        n_checkpoints = 0
+        if resilient:
+            # iteration-0 snapshot: the pre-loop state is always
+            # restorable (uncharged — a real implementation regenerates
+            # the initial basis from its RNG seed)
+            self._take_checkpoint(
+                self._snapshot(0, 0, ritzv, resd, degs_full, C, b_sup,
+                               tol_abs, trace),
+                tracer, charge=False,
+            )
+        pending: FaultError | None = None
 
-        while locked < nev and it < cfg.max_iter:
+        while (locked < nev and it < cfg.max_iter) or pending is not None:
+          try:
+            if pending is not None:
+                from_zero = getattr(pending, "restart", False)
+                pending = None
+                with tracer.phase("Recovery"):
+                    dead_here = ({r.rank_id for r in self.grid.ranks}
+                                 & injector.dead)
+                    if dead_here:
+                        mv_base += self._shrink_to_survivors(injector.dead)
+                    (C, C2, B, B2, it, locked, ritzv, resd,
+                     degs_full) = self._restore(trace, restart=from_zero,
+                                                rng=rng)
+                    filter_ws = FilterWorkspace()
+                H = self.H
+                injector.note("recovered", it, locked,
+                              self.grid.p, self.grid.q)
+                if not (locked < nev and it < cfg.max_iter):
+                    break
             it += 1
+            if injector is not None:
+                self._poll_solver_faults(injector, it, C, C2)
             if it == 1:
                 mu1_f, mu_ne_f = bounds.mu1, bounds.mu_ne
             else:
@@ -432,6 +890,38 @@ class ChaseSolver:
                     }
                 )
 
+            # corruption detection, then checkpoint the verified state
+            if injector is not None:
+                self._verify_locked(C, C2, B, B2, ritzv, locked,
+                                    tol_abs, tracer)
+                if locked >= nev:
+                    self._verify_spectrum(ritzv, nev, b_sup, tol_abs, tracer)
+            if ckpt_every and it % ckpt_every == 0:
+                self._take_checkpoint(
+                    self._snapshot(it, locked, ritzv, resd, degs_full, C,
+                                   b_sup, tol_abs, trace),
+                    tracer, charge=True,
+                )
+                n_checkpoints += 1
+                if injector is not None:
+                    injector.checkpoints = n_checkpoints
+          except (FaultError, np.linalg.LinAlgError) as err:
+            if injector is None or isinstance(err, RecoveryExhaustedError):
+                raise
+            if isinstance(err, np.linalg.LinAlgError):
+                err = CorruptionError(
+                    f"numerical breakdown under fault injection: {err}"
+                )
+            recoveries += 1
+            injector.recoveries = recoveries
+            injector.note("fault", type(err).__name__, it)
+            if recoveries > self.max_recoveries:
+                raise RecoveryExhaustedError(
+                    f"exceeded {self.max_recoveries} recoveries; "
+                    f"last fault: {err}"
+                ) from err
+            pending = err
+
         # final ordering: locked columns ascending by Ritz value
         final = np.concatenate(
             [np.argsort(ritzv[:locked], kind="stable"), np.arange(locked, ne)]
@@ -452,11 +942,14 @@ class ChaseSolver:
             converged=locked >= nev,
             locked=locked,
             iterations=it,
-            matvecs=self.hemm.matvecs - lanczos_mv,
+            matvecs=mv_base + self.hemm.matvecs - mv_start,
             trace=trace,
             timings=timings,
-            makespan=grid.cluster.makespan(),
+            makespan=self.grid.cluster.makespan(),
             qr_variants=[r.qr_variant for r in trace.records],
+            recoveries=recoveries,
+            checkpoints=n_checkpoints,
+            fault_log=list(injector.log) if injector is not None else [],
         )
 
     # -------------------------------------------------------------- phantom

@@ -8,7 +8,11 @@ Two workflows need durable artifacts:
   ``load_trace``, JSON);
 * **solve -> analyze**: eigenpairs and convergence metadata of a solve
   are archived for post-processing (``save_result`` / ``load_result``,
-  NumPy ``.npz``).
+  NumPy ``.npz``);
+* **checkpoint -> restart**: the compact restartable state of the outer
+  ChASE iteration (V panel, Ritz values, locking state, degrees) is
+  snapshotted every ``k`` iterations and restored after a fault
+  (``save_checkpoint`` / ``load_checkpoint``, ``.npz``; DESIGN.md §5f).
 """
 
 from __future__ import annotations
@@ -21,9 +25,13 @@ import numpy as np
 from repro.core.chase import ChaseResult
 from repro.core.trace import ConvergenceTrace, IterationRecord
 
-__all__ = ["save_trace", "load_trace", "save_result", "load_result"]
+__all__ = [
+    "save_trace", "load_trace", "save_result", "load_result",
+    "save_checkpoint", "load_checkpoint",
+]
 
 _TRACE_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
 def save_trace(trace: ConvergenceTrace, path) -> None:
@@ -91,7 +99,7 @@ def save_result(result: ChaseResult, path) -> None:
         arrays["residual_norms"] = result.residual_norms
     for phase, b in result.timings.items():
         arrays[f"timing_{phase}"] = np.asarray(
-            [b.compute, b.comm, b.datamove]
+            [b.compute, b.comm, b.datamove, b.recovery]
         )
     np.savez_compressed(path, **arrays)
 
@@ -103,9 +111,13 @@ def load_result(path) -> dict:
         timings = {}
         for key in data.files:
             if key.startswith("timing_"):
-                c, m, d = data[key]
+                vals = data[key]
+                # archives written before the RECOVERY category carry
+                # [compute, comm, datamove] triples; treat as recovery=0
+                rec = float(vals[3]) if vals.shape[0] > 3 else 0.0
                 timings[key[len("timing_"):]] = {
-                    "compute": float(c), "comm": float(m), "datamove": float(d),
+                    "compute": float(vals[0]), "comm": float(vals[1]),
+                    "datamove": float(vals[2]), "recovery": rec,
                 }
             elif data[key].ndim == 0:
                 out[key] = data[key].item()
@@ -113,3 +125,48 @@ def load_result(path) -> dict:
                 out[key] = data[key]
         out["timings"] = timings
     return out
+
+
+def save_checkpoint(state: dict, path) -> None:
+    """Write one solver checkpoint (DESIGN.md §5f) as ``.npz``.
+
+    ``state`` is the dict produced by the solver's checkpointing hook:
+    the gathered V panel, Ritz values, residuals (optional), per-column
+    degrees, the locking counters and the filter bounds — everything
+    Algorithm 2 needs to resume from the end of iteration ``iteration``.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "ckpt_version": np.asarray(_CHECKPOINT_VERSION),
+        "iteration": np.asarray(int(state["iteration"])),
+        "locked": np.asarray(int(state["locked"])),
+        "trace_len": np.asarray(int(state.get("trace_len", 0))),
+        "V": np.asarray(state["V"]),
+        "ritzv": np.asarray(state["ritzv"]),
+        "degrees": np.asarray(state["degrees"], dtype=np.int64),
+        "b_sup": np.asarray(float(state["b_sup"])),
+        "tol_abs": np.asarray(float(state["tol_abs"])),
+    }
+    if state.get("resd") is not None:
+        arrays["resd"] = np.asarray(state["resd"])
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path) -> dict:
+    """Load a checkpoint saved by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "ckpt_version" not in data.files:
+            raise ValueError(f"{path} is not a checkpoint file")
+        version = int(data["ckpt_version"])
+        if version != _CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        return {
+            "iteration": int(data["iteration"]),
+            "locked": int(data["locked"]),
+            "trace_len": int(data["trace_len"]),
+            "V": data["V"],
+            "ritzv": data["ritzv"],
+            "degrees": data["degrees"],
+            "b_sup": float(data["b_sup"]),
+            "tol_abs": float(data["tol_abs"]),
+            "resd": data["resd"] if "resd" in data.files else None,
+        }

@@ -26,7 +26,20 @@ from repro.runtime.executor import (
     kernel_worker_scope,
     kernel_workers,
     run_kernels,
+    set_kernel_fault_hook,
     set_kernel_workers,
+)
+from repro.runtime.faults import (
+    CollectiveError,
+    CorruptionError,
+    ExecutorFaultError,
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RankDeathError,
+    RecoveryExhaustedError,
 )
 from repro.runtime.grid import Grid2D, squarest_grid
 from repro.runtime.timeline import Timeline, TimelineEvent
@@ -47,7 +60,18 @@ __all__ = [
     "kernel_workers",
     "set_kernel_workers",
     "kernel_worker_scope",
+    "set_kernel_fault_hook",
     "run_kernels",
     "Timeline",
     "TimelineEvent",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultError",
+    "CollectiveError",
+    "RankDeathError",
+    "CorruptionError",
+    "ExecutorFaultError",
+    "RecoveryExhaustedError",
 ]

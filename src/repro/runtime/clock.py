@@ -22,6 +22,11 @@ class CostCategory(enum.Enum):
     COMM = "communication"
     DATAMOVE = "data movement"
     COMM_HIDDEN = "hidden communication"
+    #: fault-tolerance overhead: checkpoint writes/reads, collective
+    #: retry backoff, and post-failure re-layout (DESIGN.md §5f).  It
+    #: advances the clock like COMPUTE/COMM — resilience is honest wall
+    #: time — but is reported separately so overhead is visible.
+    RECOVERY = "recovery"
 
 
 class Clock:

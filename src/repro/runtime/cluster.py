@@ -9,6 +9,7 @@ from repro.perfmodel.collectives import CollectiveAlgo
 from repro.perfmodel.machine import MachineSpec, juwels_booster
 from repro.perfmodel.topology import FatTree
 from repro.runtime.backend import CommBackend
+from repro.runtime.faults import FaultInjector, FaultPlan, RecoveryExhaustedError
 from repro.runtime.rank import RankContext
 from repro.runtime.tracer import Tracer
 
@@ -100,6 +101,11 @@ class VirtualCluster:
             _algo_from_env() if collective_algo is None
             else CollectiveAlgo.parse(collective_algo)
         )
+        #: shared fault injector (DESIGN.md §5f); None = injection off
+        self.faults: FaultInjector | None = None
+        #: set by :meth:`shrink` — survivor clusters pin their node count
+        #: to the surviving node set instead of the density formula
+        self._fixed_n_nodes: int | None = None
 
         def node_of(r: int) -> int:
             if placement == "block":
@@ -126,6 +132,8 @@ class VirtualCluster:
     @property
     def n_nodes(self) -> int:
         """Number of (simulated) compute nodes occupied."""
+        if self._fixed_n_nodes is not None:
+            return self._fixed_n_nodes
         return math.ceil(self.n_ranks / self.ranks_per_node)
 
     def set_collective_algo(self, algo: CollectiveAlgo | str | None
@@ -140,6 +148,59 @@ class VirtualCluster:
         prev = self.collective_algo
         self.collective_algo = CollectiveAlgo.parse(algo)
         return prev
+
+    # -- fault injection (DESIGN.md §5f) ---------------------------------------
+    def attach_faults(self, plan: FaultPlan, *, max_retries: int = 3,
+                      backoff_base: float = 2e-3) -> FaultInjector:
+        """Arm a fault plan on every rank; returns the shared injector.
+
+        Communicators and the solver consult the injector through
+        ``rank.faults``; detaching (or never attaching) keeps every hook
+        a no-op and the execution bit-identical to seed.
+        """
+        inj = FaultInjector(plan, self.n_ranks, max_retries=max_retries,
+                            backoff_base=backoff_base)
+        self.faults = inj
+        for r in self.ranks:
+            r.faults = inj
+        return inj
+
+    def detach_faults(self) -> None:
+        """Disarm fault injection on every rank."""
+        self.faults = None
+        for r in self.ranks:
+            r.faults = None
+
+    def shrink(self, dead_ranks) -> "VirtualCluster":
+        """The surviving cluster after ``dead_ranks`` died.
+
+        Survivor :class:`RankContext` objects are **reused** — their
+        clocks, tracer accumulations and armed injector carry over, so
+        the makespan of a recovered solve honestly includes everything
+        paid before the failure.  Dead ranks keep their (now frozen)
+        clocks but are marked ``alive = False`` and dropped.
+        """
+        dead = {int(r) for r in dead_ranks}
+        survivors = [r for r in self.ranks if r.rank_id not in dead]
+        if not survivors:
+            raise RecoveryExhaustedError("no surviving ranks to recover onto")
+        for r in self.ranks:
+            if r.rank_id in dead:
+                r.alive = False
+        new = VirtualCluster.__new__(VirtualCluster)
+        new.machine = self.machine
+        new.backend = self.backend
+        new.phantom = self.phantom
+        new.ranks_per_node = self.ranks_per_node
+        new.gpus_per_rank = self.gpus_per_rank
+        new.placement = self.placement
+        new.tracer = self.tracer
+        new.topology = self.topology
+        new.collective_algo = self.collective_algo
+        new.faults = self.faults
+        new.ranks = survivors
+        new._fixed_n_nodes = len({r.node for r in survivors})
+        return new
 
     def makespan(self) -> float:
         """Current parallel time: the furthest-ahead rank clock."""

@@ -45,6 +45,7 @@ from repro.perfmodel.collectives import (
     collective_cost,
 )
 from repro.perfmodel.topology import FatTree
+from repro.runtime.faults import CollectiveError, RankDeathError
 from repro.runtime.rank import RankContext
 
 __all__ = ["Communicator", "CommStats", "CollectiveRequest"]
@@ -313,6 +314,48 @@ class Communicator:
         """Position of ``rank`` within this communicator (its root id)."""
         return self.ranks.index(rank)
 
+    # -- fault injection (DESIGN.md §5f) ----------------------------------------------
+    def _fault_entry(self, op: str) -> float:
+        """Fault hook at collective entry; returns the comm-time multiplier.
+
+        With no injector attached (the default) this returns ``1.0``
+        immediately — multiplying every charge by exactly ``1.0`` keeps
+        the fault-free path bit-identical to seed.  With an injector:
+
+        * due time-triggered events are activated at the barrier entry
+          instant (max participant clock — the moment a real collective
+          would observe a peer);
+        * a dead participant raises :class:`RankDeathError`;
+        * a due transient targeting a participant fails the collective
+          ``attempts`` times; each retry charges exponential backoff to
+          every participant (RECOVERY category) and the typed
+          :class:`CollectiveError` is raised once ``max_retries`` is
+          exceeded;
+        * the returned multiplier is the largest link-slowdown factor
+          active on any participant (1.0 when none).
+        """
+        inj = self.ranks[0].faults
+        if inj is None:
+            return 1.0
+        now = max(r.clock.now for r in self.ranks)
+        inj.poll(now)
+        dead = inj.dead_among(self.ranks)
+        if dead:
+            raise RankDeathError(dead)
+        attempts, target = inj.transient_attempts(self.ranks, now)
+        if attempts:
+            for r in self.ranks:  # failed attempts synchronize like a barrier
+                r.clock.sync_to(now)
+            for attempt in range(1, attempts + 1):
+                if attempt > inj.max_retries:
+                    raise CollectiveError(op, target, attempts)
+                backoff = inj.backoff_base * (2.0 ** (attempt - 1))
+                for r in self.ranks:
+                    r.charge_recovery(backoff)
+                inj.note("retry", op, target, attempt)
+            now = max(r.clock.now for r in self.ranks)
+        return inj.comm_factor(self.ranks, now)
+
     # -- internals ------------------------------------------------------------------
     def _barrier_entry(self) -> None:
         t = max(r.clock.now for r in self.ranks)
@@ -444,12 +487,13 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return list(buffers)
+        fmult = self._fault_entry("allreduce")
         charge = self._charge_for("allreduce", nbytes)
         self.stats.record(nbytes, self.size,
                           2 * math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h")
         self._barrier_entry()
-        self._charge_comm_all(charge.time)
+        self._charge_comm_all(charge.time * fmult)
         self._stage(nbytes, "h2d")
         return self._allreduce_move(buffers, scalar, shared, compute)
 
@@ -467,12 +511,13 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return list(buffers)
+        fmult = self._fault_entry("bcast")
         charge = self._charge_for("bcast", nbytes)
         self.stats.record(nbytes, self.size,
                           math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h")
         self._barrier_entry()
-        self._charge_comm_all(charge.time)
+        self._charge_comm_all(charge.time * fmult)
         self._stage(nbytes, "h2d")
         return self._bcast_move(buffers, scalar, root, shared, compute)
 
@@ -504,12 +549,13 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return CollectiveRequest._completed(self, list(buffers))
+        fmult = self._fault_entry("iallreduce")
         charge = self._charge_for("allreduce", nbytes)
         self.stats.record(nbytes, self.size,
                           2 * math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h", seconds=stage_seconds)
         t_entry = max(r.clock.now for r in self.ranks)
-        d = charge.time if duration is None else float(duration)
+        d = (charge.time if duration is None else float(duration)) * fmult
         return CollectiveRequest(
             self, "allreduce", list(buffers), nbytes, scalar, d, t_entry,
             shared=shared, compute=compute, stage_seconds=stage_seconds,
@@ -527,12 +573,13 @@ class Communicator:
         nbytes, scalar = self._check_buffers(buffers)
         if self.size == 1:
             return CollectiveRequest._completed(self, list(buffers))
+        fmult = self._fault_entry("ibcast")
         charge = self._charge_for("bcast", nbytes)
         self.stats.record(nbytes, self.size,
                           math.ceil(math.log2(self.size)), charge)
         self._stage(nbytes, "d2h", seconds=stage_seconds)
         t_entry = max(r.clock.now for r in self.ranks)
-        d = charge.time if duration is None else float(duration)
+        d = (charge.time if duration is None else float(duration)) * fmult
         return CollectiveRequest(
             self, "bcast", list(buffers), nbytes, scalar, d, t_entry,
             shared=shared, compute=compute, root=root,
@@ -549,11 +596,12 @@ class Communicator:
             raise ValueError("one buffer per rank required")
         nbytes = float(np.mean([nbytes_of(b) if not isinstance(b, Number) else 8.0
                                 for b in buffers]))
+        fmult = self._fault_entry("allgather")
         charge = self._charge_for("allgather", nbytes)
         self.stats.record(nbytes, self.size, max(self.size - 1, 0), charge)
         self._stage(nbytes * self.size, "d2h")
         self._barrier_entry()
-        self._charge_comm_all(charge.time)
+        self._charge_comm_all(charge.time * fmult)
         self._stage(nbytes * self.size, "h2d")
         return [list(buffers) for _ in range(self.size)]
 
@@ -571,17 +619,20 @@ class Communicator:
         for root in range(self.size):
             b = buffers[root]
             nbytes = 8.0 if isinstance(b, Number) else float(nbytes_of(b))
+            fmult = self._fault_entry("bcast")
             charge = self._charge_for("bcast", nbytes)
             self.stats.record(nbytes, self.size,
                               math.ceil(math.log2(max(self.size, 2))), charge)
             self._stage(nbytes, "d2h")
             self._barrier_entry()
-            self._charge_comm_all(charge.time)
+            self._charge_comm_all(charge.time * fmult)
             self._stage(nbytes, "h2d")
         return [list(buffers) for _ in range(self.size)]
 
     def barrier(self) -> None:
         """Synchronize all participants' clocks (no payload)."""
+        if self.size > 1:
+            self._fault_entry("barrier")
         self._barrier_entry()
 
     def charge_collective(self, dt: float) -> None:
@@ -592,8 +643,9 @@ class Communicator:
         panel-wise messages of ScaLAPACK HHQR, whose numerics are
         computed directly from the assembled blocks).
         """
+        fmult = self._fault_entry("p2p") if self.size > 1 else 1.0
         self._barrier_entry()
-        self._charge_comm_all(dt)
+        self._charge_comm_all(dt * fmult)
 
     def stage_all(self, nbytes: float, direction: str) -> None:
         """Charge a host-staging copy on every participant (DATAMOVE)."""

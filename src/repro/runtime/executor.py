@@ -40,6 +40,8 @@ __all__ = [
     "kernel_workers",
     "set_kernel_workers",
     "kernel_worker_scope",
+    "kernel_fault_hook",
+    "set_kernel_fault_hook",
     "run_kernels",
     "blas_thread_guard",
 ]
@@ -79,6 +81,31 @@ def kernel_worker_scope(n: int):
         yield
     finally:
         set_kernel_workers(prev)
+
+
+# -- fault hook (DESIGN.md §5f) ----------------------------------------------------
+_FAULT_HOOK: Callable[[], None] | None = None
+
+
+def kernel_fault_hook() -> Callable[[], None] | None:
+    """The currently installed kernel fault hook (None = disabled)."""
+    return _FAULT_HOOK
+
+
+def set_kernel_fault_hook(hook: Callable[[], None] | None
+                          ) -> Callable[[], None] | None:
+    """Install a hook called at every kernel-batch entry; returns the old one.
+
+    The fault injector's ``FaultInjector.kernel_hook`` raises
+    ``ExecutorFaultError`` from here to simulate a device/driver crash
+    aborting a batch.  The hook runs on the main thread *before* any
+    closure is dispatched, so an abort never leaves half-written
+    results.  ``None`` (the default) restores the seed behavior.
+    """
+    global _FAULT_HOOK
+    prev = _FAULT_HOOK
+    _FAULT_HOOK = hook
+    return prev
 
 
 def _pool(n: int) -> ThreadPoolExecutor:
@@ -175,6 +202,8 @@ def run_kernels(closures: Iterable[Callable[[], object]]) -> list:
     Exceptions propagate to the caller in either mode.
     """
     fns: Sequence[Callable[[], object]] = list(closures)
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK()
     if _WORKERS <= 1 or len(fns) <= 1:
         return [fn() for fn in fns]
     with blas_thread_guard():

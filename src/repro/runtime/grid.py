@@ -118,6 +118,24 @@ class Grid2D:
         for c in (*self._row_comms, *self._col_comms):
             c.set_topology(tree)
 
+    def shrink(self, dead_ranks) -> "Grid2D":
+        """The squarest surviving grid after ``dead_ranks`` died.
+
+        Recovery re-layout (DESIGN.md §5f): the surviving cluster keeps
+        its rank clocks and tracer, and the new ``p' x q'`` grid is the
+        squarest factorization of the survivor count.  Data structures
+        (H, multivectors) must be rebuilt on the returned grid — the
+        solver's recovery path does that from its last checkpoint.
+        """
+        return Grid2D(self.cluster.shrink(dead_ranks))
+
+    def dead_ranks(self) -> tuple[int, ...]:
+        """Rank ids whose scheduled death has fired (empty when no injector)."""
+        inj = self.cluster.faults
+        if inj is None:
+            return ()
+        return tuple(sorted(inj.dead))
+
     def comm_stats(self) -> tuple:
         """CommStats tuples of every row then column communicator.
 

@@ -54,6 +54,12 @@ class RankContext:
         #: neighbour); collectives then propagate its delay to every
         #: coupled rank through the barrier semantics.
         self.slowdown = 1.0
+        #: fault injector shared by the owning cluster (None = fault
+        #: injection disabled; every hook is then a no-op)
+        self.faults = None
+        #: False once a scheduled RANK_DEATH event has been observed
+        #: and the rank dropped from the surviving grid
+        self.alive = True
 
         gpu_spec = machine.gpu
         if gpus_per_rank > 1:
@@ -112,6 +118,17 @@ class RankContext:
         """Advance this rank by ``dt`` seconds of host-device DATAMOVE."""
         self.clock.advance(dt)
         self.tracer.add(self.rank_id, CostCategory.DATAMOVE, dt)
+
+    def charge_recovery(self, dt: float) -> None:
+        """Advance this rank by ``dt`` seconds of RECOVERY overhead.
+
+        Checkpoint I/O, collective retry backoff and post-failure
+        re-layout are real wall time (DESIGN.md §5f): they advance the
+        clock like any other charge but are accounted in their own
+        category so fault-tolerance overhead stays visible.
+        """
+        self.clock.advance(dt)
+        self.tracer.add(self.rank_id, CostCategory.RECOVERY, dt)
 
     def charge_comm_hidden(self, dt: float, start: float) -> None:
         """Book ``dt`` seconds of communication hidden behind compute.

@@ -42,10 +42,11 @@ class PhaseBreakdown:
     comm: float = 0.0
     datamove: float = 0.0
     comm_hidden: float = 0.0
+    recovery: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.compute + self.comm + self.datamove
+        return self.compute + self.comm + self.datamove + self.recovery
 
     @property
     def comm_total(self) -> float:
@@ -59,6 +60,7 @@ class PhaseBreakdown:
             "comm": self.comm,
             "datamove": self.datamove,
             "comm_hidden": self.comm_hidden,
+            "recovery": self.recovery,
             "total": self.total,
         }
 
@@ -125,6 +127,7 @@ class Tracer:
             comm=crit.get(CostCategory.COMM, 0.0),
             datamove=crit.get(CostCategory.DATAMOVE, 0.0),
             comm_hidden=crit.get(CostCategory.COMM_HIDDEN, 0.0),
+            recovery=crit.get(CostCategory.RECOVERY, 0.0),
         )
 
     def total(self, phase: str | None = None) -> float:

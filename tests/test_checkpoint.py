@@ -1,0 +1,158 @@
+"""Checkpoint round-trip and restore-path unit tests (DESIGN.md §5f).
+
+Three layers, bottom-up: the ``.npz`` serialization in :mod:`repro.io`
+must round-trip a solver snapshot bit-for-bit; a checkpointing solve
+must be numerically invisible (identical eigenpairs, strictly larger
+modeled makespan); and the restore path — in-memory, through disk, and
+onto a shrunk survivor grid — must reproduce the fault-free answer
+while keeping the per-level communicator byte accounting conserved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.core.chase import ChaseSolver
+from repro.core.config import ChaseConfig
+from repro.distributed import DistributedHermitian
+from repro.runtime import FaultEvent, FaultKind, FaultPlan
+from tests.conftest import make_grid
+
+N, NEV, NEX = 96, 10, 6
+CFG = ChaseConfig(nev=NEV, nex=NEX, tol=1e-9, max_iter=40)
+
+
+def _matrix(dtype=np.float64):
+    rng = np.random.default_rng(4242)
+    A = rng.standard_normal((N, N))
+    if np.dtype(dtype).kind == "c":
+        A = A + 1j * rng.standard_normal((N, N))
+    return ((A + A.conj().T) / 2).astype(dtype)
+
+
+def _solve(plan=None, **solver_kw):
+    grid = make_grid(4)
+    Hd = DistributedHermitian.from_dense(grid, _matrix())
+    solver = ChaseSolver(grid, Hd, CFG, faults=plan, **solver_kw)
+    res = solver.solve(rng=np.random.default_rng(99), return_vectors=True)
+    return solver, res
+
+
+# ------------------------------------------------------------- io round-trip
+def _sample_state(with_resd: bool) -> dict:
+    rng = np.random.default_rng(7)
+    ne = NEV + NEX
+    V = rng.standard_normal((N, ne)) + 1j * rng.standard_normal((N, ne))
+    return {
+        "iteration": 3,
+        "locked": 4,
+        "trace_len": 3,
+        "V": V.astype(np.complex128),
+        "ritzv": rng.standard_normal(ne),
+        "resd": np.abs(rng.standard_normal(ne)) if with_resd else None,
+        "degrees": rng.integers(2, 30, size=ne).astype(np.int64),
+        "b_sup": 19.5,
+        "tol_abs": 3.2e-9,
+    }
+
+
+@pytest.mark.parametrize("with_resd", [True, False])
+def test_io_checkpoint_round_trip_bit_identical(tmp_path, with_resd):
+    state = _sample_state(with_resd)
+    path = tmp_path / "ck.npz"
+    io.save_checkpoint(state, path)
+    back = io.load_checkpoint(path)
+    assert back["iteration"] == state["iteration"]
+    assert back["locked"] == state["locked"]
+    assert back["trace_len"] == state["trace_len"]
+    assert back["b_sup"] == state["b_sup"]
+    assert back["tol_abs"] == state["tol_abs"]
+    np.testing.assert_array_equal(back["V"], state["V"])
+    assert back["V"].dtype == state["V"].dtype
+    np.testing.assert_array_equal(back["ritzv"], state["ritzv"])
+    np.testing.assert_array_equal(back["degrees"], state["degrees"])
+    if with_resd:
+        np.testing.assert_array_equal(back["resd"], state["resd"])
+    else:
+        assert back["resd"] is None
+
+
+def test_io_checkpoint_rejects_foreign_files(tmp_path):
+    foreign = tmp_path / "foreign.npz"
+    np.savez(foreign, some_array=np.arange(3))
+    with pytest.raises(ValueError, match="not a checkpoint"):
+        io.load_checkpoint(foreign)
+    futur = tmp_path / "future.npz"
+    np.savez(futur, ckpt_version=np.asarray(99))
+    with pytest.raises(ValueError, match="version"):
+        io.load_checkpoint(futur)
+
+
+# -------------------------------------------------- checkpointing invisibility
+def test_checkpointing_solve_is_numerically_invisible():
+    """checkpoint_every=1 must not perturb a single numeric decision —
+    only add honestly charged RECOVERY time to the model."""
+    _, base = _solve(None)
+    _, ck = _solve(None, checkpoint_every=1)
+    assert ck.converged and base.converged
+    assert ck.iterations == base.iterations
+    np.testing.assert_array_equal(ck.eigenvalues, base.eigenvalues)
+    np.testing.assert_array_equal(ck.eigenvectors, base.eigenvectors)
+    np.testing.assert_array_equal(ck.residual_norms, base.residual_norms)
+    assert ck.checkpoints == ck.iterations
+    assert ck.makespan > base.makespan
+    assert "Checkpoint" in ck.timings and "Checkpoint" not in base.timings
+
+
+def test_checkpoint_cadence_counts():
+    _, every2 = _solve(None, checkpoint_every=2)
+    assert every2.checkpoints == every2.iterations // 2
+    _, never = _solve(None, checkpoint_every=0)
+    assert never.checkpoints == 0
+
+
+# ------------------------------------------------------------ restore paths
+def test_disk_and_memory_restore_are_bit_identical(tmp_path):
+    """A crash recovery restored through the .npz disk path must replay
+    exactly as one restored from the in-memory snapshot."""
+    plan = FaultPlan(events=(
+        FaultEvent(FaultKind.KERNEL_CRASH, rank=2, iteration=2),
+    ))
+    path = tmp_path / "solver.ckpt.npz"
+    _, mem = _solve(plan)
+    _, disk = _solve(plan, checkpoint_path=path)
+    assert path.exists()
+    assert disk.recoveries == mem.recoveries == 1
+    assert disk.checkpoints == mem.checkpoints
+    assert disk.fault_log == mem.fault_log
+    assert disk.iterations == mem.iterations
+    assert disk.makespan == mem.makespan
+    np.testing.assert_array_equal(disk.eigenvalues, mem.eigenvalues)
+    np.testing.assert_array_equal(disk.eigenvectors, mem.eigenvectors)
+    # the file left behind is the last verified snapshot of that solve
+    final = io.load_checkpoint(path)
+    assert final["iteration"] == disk.iterations
+    assert final["V"].shape == (N, NEV + NEX)
+    assert final["locked"] >= NEV
+
+
+def test_restore_onto_shrunk_grid_conserves_bytes_and_spectrum():
+    """Death before the first iteration: recovery restores the initial
+    snapshot onto the surviving 1x3 grid and still produces verified
+    eigenpairs; every surviving communicator's two-level byte split
+    (intra + inter) must keep summing to its total byte count."""
+    plan = FaultPlan(events=(
+        FaultEvent(FaultKind.RANK_DEATH, rank=1, time=0.0),
+    ))
+    solver, res = _solve(plan)
+    assert res.converged
+    assert solver.grid.p * solver.grid.q == 3
+    assert any(e[0] == "death" for e in res.fault_log)
+    assert res.recoveries >= 1
+    oracle = np.sort(np.linalg.eigvalsh(_matrix()))[:NEV]
+    np.testing.assert_allclose(res.eigenvalues, oracle, rtol=0, atol=1e-6)
+    for total, levels in zip(solver.grid.comm_stats(),
+                             solver.grid.comm_stats_levels()):
+        assert levels[2] + levels[3] == total[2]

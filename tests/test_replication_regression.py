@@ -22,7 +22,15 @@ from repro.distributed import (
     hemm_fusion,
     numeric_dedup,
 )
-from repro.runtime import CommBackend, Grid2D, VirtualCluster
+from repro.runtime import (
+    CommBackend,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    Grid2D,
+    VirtualCluster,
+    kernel_worker_scope,
+)
 
 N, NEV, NEX = 200, 25, 15
 
@@ -35,7 +43,8 @@ def scenario_matrix(dtype):
     return ((A + A.conj().T) / 2).astype(dtype)
 
 
-def run_scenario(dedup: bool, scheme: str, backend: CommBackend, dtype):
+def run_scenario(dedup: bool, scheme: str, backend: CommBackend, dtype,
+                 solver_kw: dict | None = None):
     """One fixed solve on a fresh cluster; returns all modeled outputs."""
     with numeric_dedup(dedup):
         H = scenario_matrix(dtype)
@@ -43,9 +52,13 @@ def run_scenario(dedup: bool, scheme: str, backend: CommBackend, dtype):
         grid = Grid2D(cluster, 2, 2)
         Hd = DistributedHermitian.from_dense(grid, H)
         solver = ChaseSolver(
-            grid, Hd, ChaseConfig(nev=NEV, nex=NEX), scheme=scheme
+            grid, Hd, ChaseConfig(nev=NEV, nex=NEX), scheme=scheme,
+            **(solver_kw or {})
         )
         res = solver.solve(rng=np.random.default_rng(2718), return_vectors=True)
+        # the solver's grid survives a mid-solve shrink; the entry grid
+        # would hold stale communicators after a rank death
+        grid = solver.grid
         comm_stats = []
         for j in range(grid.q):
             s = grid.col_comm(j).stats
@@ -54,10 +67,10 @@ def run_scenario(dedup: bool, scheme: str, backend: CommBackend, dtype):
             s = grid.row_comm(i).stats
             comm_stats.append(("row", i, s.collectives, s.messages, s.bytes_moved))
         timings = {
-            phase: (b.compute, b.comm, b.datamove)
+            phase: (b.compute, b.comm, b.datamove, b.recovery)
             for phase, b in res.timings.items()
         }
-        clocks = [r.clock.now for r in cluster.ranks]
+        clocks = [r.clock.now for r in grid.cluster.ranks]
     return res, comm_stats, timings, clocks
 
 
@@ -132,3 +145,111 @@ def test_pipelined_filter_regression(dedup, fused, backend):
     for phase in t0:
         if phase != "Filter":
             assert t1[phase] == t0[phase], f"phase {phase!r} drifted"
+
+
+# ------------------------------------------------------------------ faults
+# The fault subsystem (DESIGN.md §5f) must be invisible when disabled and
+# tier-invariant when enabled: the same fault plan must produce the same
+# deterministic recovery trajectory on every tier whose modeled charges
+# are bit-identical, and the same *solver-level* trajectory on tiers that
+# only reshape the modeled time.
+
+#: (dedup, fused, workers, pipelined) — one representative per tier
+FAULT_TIERS = [
+    (False, False, 1, False),
+    (True, False, 1, False),
+    (True, True, 1, False),
+    (True, True, 3, False),
+    (True, False, 1, True),
+]
+
+
+def _run_tier(dedup, fused, workers, pipelined, solver_kw=None):
+    with hemm_fusion(fused), kernel_worker_scope(workers), \
+            filter_pipeline(pipelined, 3):
+        return run_scenario(dedup, "new", CommBackend.NCCL, np.float64,
+                            solver_kw=solver_kw)
+
+
+@pytest.mark.parametrize("tier", FAULT_TIERS,
+                         ids=["seed", "dedup", "fused", "workers", "pipelined"])
+def test_faults_disabled_bit_identical_on_every_tier(tier):
+    """Constructing the solver with the fault machinery explicitly off
+    must be bit-identical to the plain constructor on all four tiers:
+    the hooks short-circuit without touching numerics or charges."""
+    r0, s0, t0, c0 = _run_tier(*tier)
+    r1, s1, t1, c1 = _run_tier(
+        *tier, solver_kw=dict(faults=None, checkpoint_every=0))
+    np.testing.assert_array_equal(r1.eigenvalues, r0.eigenvalues)
+    np.testing.assert_array_equal(r1.eigenvectors, r0.eigenvectors)
+    assert r1.iterations == r0.iterations
+    assert r1.makespan == r0.makespan
+    assert c1 == c0 and s1 == s0 and t1 == t0
+    assert r1.recoveries == 0 and r1.checkpoints == 0
+    assert r1.fault_log == [] and "Recovery" not in t1
+
+
+def _scenario_fault_plan(makespan: float) -> FaultPlan:
+    """Slowdown (time-keyed) + corruption + crash (iteration-keyed).
+
+    The fault-free scenario converges in two outer iterations, so both
+    iteration-keyed events land inside the run and the kernel crash
+    forces at least one checkpoint recovery."""
+    return FaultPlan(events=(
+        FaultEvent(FaultKind.LINK_SLOWDOWN, rank=2, time=0.35 * makespan,
+                   factor=3.0, duration=0.2 * makespan),
+        FaultEvent(FaultKind.BIT_CORRUPTION, rank=1, iteration=1, seed=77),
+        FaultEvent(FaultKind.KERNEL_CRASH, rank=3, iteration=2),
+    ))
+
+
+def test_fault_trajectory_bit_identical_with_and_without_dedup():
+    """Dedup on/off are charge-identical tiers, so even time-keyed fault
+    events fire at the same collectives: the full recovery trajectory —
+    eigenvalues, fault log, checkpoints, makespan, clocks, comm stats —
+    must be bit-identical."""
+    base, _, _, _ = run_scenario(True, "new", CommBackend.NCCL, np.float64)
+    plan = _scenario_fault_plan(base.makespan)
+    r1, s1, t1, c1 = run_scenario(True, "new", CommBackend.NCCL, np.float64,
+                                  solver_kw=dict(faults=plan))
+    r0, s0, t0, c0 = run_scenario(False, "new", CommBackend.NCCL, np.float64,
+                                  solver_kw=dict(faults=plan))
+    assert r1.converged and r0.converged
+    assert r1.fault_log == r0.fault_log and r1.fault_log != []
+    assert r1.recoveries == r0.recoveries >= 1
+    assert r1.checkpoints == r0.checkpoints >= 1
+    np.testing.assert_array_equal(r1.eigenvalues, r0.eigenvalues)
+    np.testing.assert_array_equal(r1.eigenvectors, r0.eigenvectors)
+    assert r1.makespan == r0.makespan
+    assert c1 == c0 and s1 == s0 and t1 == t0
+    assert t1["Recovery"] == t0["Recovery"]
+
+
+@pytest.mark.parametrize("tier, exact", [
+    (FAULT_TIERS[2], False),   # fused: panel fusion reorders accumulation
+    (FAULT_TIERS[3], False),   # workers: runs on the fused tier
+    (FAULT_TIERS[4], True),    # pipelined: chunking is numerics-neutral
+], ids=["fused", "workers", "pipelined"])
+def test_iteration_keyed_faults_tier_invariant(tier, exact):
+    """Tiers that reshape modeled time (fusion, executor, pipelining)
+    still replay an iteration-keyed plan identically: the solver-level
+    trajectory and per-communicator byte volumes match the dedup tier.
+    Eigenvalues are bit-identical on numerics-neutral tiers and agree to
+    roundoff where panel fusion reorders the accumulation."""
+    plan = FaultPlan(events=(
+        FaultEvent(FaultKind.BIT_CORRUPTION, rank=1, iteration=1, seed=77),
+        FaultEvent(FaultKind.KERNEL_CRASH, rank=3, iteration=2),
+    ))
+    r0, s0, _, _ = _run_tier(*FAULT_TIERS[1], solver_kw=dict(faults=plan))
+    r1, s1, _, _ = _run_tier(*tier, solver_kw=dict(faults=plan))
+    assert r1.converged and r0.converged
+    assert r1.fault_log == r0.fault_log and r1.fault_log != []
+    assert r1.recoveries == r0.recoveries >= 1
+    assert r1.checkpoints == r0.checkpoints
+    assert r1.iterations == r0.iterations
+    if exact:
+        np.testing.assert_array_equal(r1.eigenvalues, r0.eigenvalues)
+        assert _bytes_only(s1) == _bytes_only(s0)
+    else:
+        np.testing.assert_allclose(
+            r1.eigenvalues, r0.eigenvalues, rtol=0, atol=1e-10)
