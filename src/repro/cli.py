@@ -33,6 +33,8 @@ from repro import ChaseConfig, ChaseSolver, ConvergenceTrace, chase_serial
 from repro.core.lanczos import SpectralBounds
 from repro.distributed import (
     DistributedHermitian,
+    comm_compress_scope,
+    filter_dtype_scope,
     filter_pipeline,
     filter_pipeline_chunks,
 )
@@ -45,6 +47,23 @@ _BACKENDS = {
     "mpi": CommBackend.MPI_STAGED,
     "mpi-host": CommBackend.MPI_HOST,
 }
+
+
+def _precision_stack(args):
+    """Context stack applying explicit --filter-dtype/--comm-compress.
+
+    Flags default to ``None`` so an unset flag leaves the ambient
+    toggles alone — in particular ``--tuned`` winners carrying a
+    precision config are not clobbered by the flag defaults.
+    """
+    import contextlib
+
+    stack = contextlib.ExitStack()
+    if getattr(args, "filter_dtype", None) is not None:
+        stack.enter_context(filter_dtype_scope(args.filter_dtype))
+    if getattr(args, "comm_compress", None) is not None:
+        stack.enter_context(comm_compress_scope(args.comm_compress))
+    return stack
 
 
 def _solve_or_fail(solver: ChaseSolver, rng):
@@ -105,7 +124,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print(f"tuned config: {best.label()} "
                   f"(modeled x{report.speedup:.3f} vs default)")
             with applied(best, n_ranks=args.ranks,
-                         backend=_BACKENDS[args.backend]) as grid:
+                         backend=_BACKENDS[args.backend]) as grid, \
+                    _precision_stack(args):
                 if args.overlap is not None:
                     grid.set_overlap_efficiency(args.overlap)
                 chunks = filter_pipeline_chunks()
@@ -127,7 +147,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             if args.overlap is not None:
                 grid.set_overlap_efficiency(args.overlap)
             Hd = DistributedHermitian.from_dense(grid, H)
-            with filter_pipeline(args.pipeline_filter, args.pipeline_chunks):
+            with filter_pipeline(args.pipeline_filter, args.pipeline_chunks), \
+                    _precision_stack(args):
                 chunks = filter_pipeline_chunks()
                 solver = ChaseSolver(grid, Hd, cfg, **solver_kw)
                 res = _solve_or_fail(solver, rng)
@@ -147,6 +168,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(f"modeled time-to-solution: {res.makespan:.4f} s")
     else:
         res = chase_serial(H, cfg, rng=rng)
+    plog = getattr(res, "precision_log", None)
+    if plog and "fp32" in plog:
+        reason = res.precision_promote_reason
+        promoted = f", promoted to fp64 ({reason})" if reason else ""
+        print(f"mixed precision: fp32 filter on "
+              f"{plog.count('fp32')}/{len(plog)} iterations{promoted}")
     print(f"converged: {res.converged} in {res.iterations} iterations, "
           f"{res.matvecs} MatVecs")
     print(f"QR variants: {res.qr_variants}")
@@ -248,13 +275,23 @@ def _cmd_strong(args: argparse.Namespace) -> int:
 
 def _cmd_tune(args: argparse.Namespace) -> int:
     """Model-driven configuration search (DESIGN.md §5e)."""
-    from repro.perfmodel.autotune import autotune
+    from repro.perfmodel.autotune import (
+        DEFAULT_PRECISION_OPTIONS,
+        autotune,
+        enumerate_candidates,
+    )
 
     nex = args.nex if args.nex is not None else max(2, args.nev // 2)
+    candidates = None
+    if getattr(args, "precision", False):
+        candidates = enumerate_candidates(
+            args.ranks, precision_options=DEFAULT_PRECISION_OPTIONS
+        )
     report = autotune(
         args.ranks, args.n, args.nev, nex,
         backend=_BACKENDS[args.backend],
         iterations=args.iterations,
+        candidates=candidates,
     )
     if args.smoke:
         ok = report.best.makespan <= report.default.makespan
@@ -388,6 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--topology", choices=("auto",), default=None,
                    help="attach a fat-tree interconnect for hop-aware "
                         "collective costing (DESIGN.md §5e)")
+    s.add_argument("--filter-dtype", choices=("fp64", "fp32"), default=None,
+                   dest="filter_dtype",
+                   help="Chebyshev filter working precision (DESIGN.md "
+                        "§5g); fp32 enables condest-gated mixed precision")
+    s.add_argument("--comm-compress", choices=("none", "fp32", "bf16"),
+                   default=None, dest="comm_compress",
+                   help="compressed allreduce payload dtype for the "
+                        "filter's pipelined reductions")
     s.add_argument("--tuned", action="store_true",
                    help="run the model-driven autotuner first and solve "
                         "under the winning configuration (implies a "
@@ -434,6 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subspace iterations in the modeled dry run")
     s.add_argument("--top", type=int, default=12,
                    help="rows of the ranked table to print (0 = all)")
+    s.add_argument("--precision", action="store_true",
+                   help="also enumerate mixed-precision candidates "
+                        "(fp32 filter, compressed collectives)")
     s.add_argument("--smoke", action="store_true",
                    help="one-line check that the winner's modeled makespan "
                         "is <= the untuned default's; exit 1 otherwise")

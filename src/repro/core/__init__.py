@@ -12,6 +12,7 @@ Public entry points:
 
 from repro.core.config import ChaseConfig
 from repro.core.chase import ChaseSolver, ChaseResult
+from repro.core.precision import PrecisionPolicy, narrow_dtype, resolve_work_dtype
 from repro.core.serial import chase_serial
 from repro.core.sequence import EigenSequenceSolver, SequenceStep
 from repro.core.trace import ConvergenceTrace, IterationRecord
@@ -25,4 +26,7 @@ __all__ = [
     "SequenceStep",
     "ConvergenceTrace",
     "IterationRecord",
+    "PrecisionPolicy",
+    "narrow_dtype",
+    "resolve_work_dtype",
 ]

@@ -36,11 +36,13 @@ from repro.core.degrees import optimize_degrees, sort_by_degree
 from repro.core.filter import FilterWorkspace, chebyshev_filter
 from repro.core.lanczos import SpectralBounds, lanczos_bounds, lanczos_ritz
 from repro.core.locking import plan_locking
+from repro.core.precision import PrecisionPolicy, narrow_dtype, resolve_work_dtype
 from repro.core.qr import QRReport, caqr_1d, cholesky_qr, shifted_cholesky_qr2
 from repro.core.rayleigh_ritz import rayleigh_ritz
 from repro.core.residuals import residuals
 from repro.core.trace import ConvergenceTrace, IterationRecord
 from repro.baselines.scalapack_qr import hhqr_1d
+from repro.distributed import replication
 from repro.distributed.hemm import DistributedHemm
 from repro.distributed.hermitian import DistributedHermitian, global_indices
 from repro.distributed.multivector import DistributedMultiVector
@@ -101,6 +103,11 @@ class ChaseResult:
     recoveries: int = 0
     checkpoints: int = 0
     fault_log: list = field(default_factory=list)
+    #: mixed precision (DESIGN.md §5g): the filter working-precision
+    #: token ("fp32"/"fp64") chosen by the condest-driven policy for
+    #: each outer iteration, plus why the sticky fp64 promotion fired
+    precision_log: list = field(default_factory=list)
+    precision_promote_reason: str | None = None
 
 
 class ChaseSolver:
@@ -151,14 +158,20 @@ class ChaseSolver:
         cluster = self.grid.cluster
         dev_bytes = cluster.ranks[0].gpu_spec.memory_bytes
         N, ne = self.H.N, self.cfg.ne
+        # mixed precision keeps a narrow working set alive next to the
+        # fp64 state; size it into the boundary when fp32 filtering is on
+        wdt = (narrow_dtype(self.H.dtype)
+               if replication.filter_dtype() == "fp32" else None)
         if self.scheme == "lms":
             need = chase_lms_bytes(
                 N, ne, cluster.n_nodes, cluster.ranks_per_node
                 * cluster.gpus_per_rank, dtype=self.H.dtype,
+                work_dtype=wdt,
             )
         else:
             need = chase_new_scheme_bytes(
-                N, ne, self.grid.p, self.grid.q, dtype=self.H.dtype
+                N, ne, self.grid.p, self.grid.q, dtype=self.H.dtype,
+                work_dtype=wdt,
             )
         if not fits_on_device(need, dev_bytes):
             raise MemoryError(
@@ -749,6 +762,11 @@ class ChaseSolver:
         it = 0
         # ping-pong buffers reused by every filter call of the solve
         filter_ws = FilterWorkspace()
+        # mixed precision (DESIGN.md §5g): per-iteration fp32/fp64 gate
+        # for the filter, driven by the (cost-free) condition estimate
+        # and the previous iteration's active residuals
+        policy = PrecisionPolicy()
+        res_scale = max(abs(bounds.mu1), abs(b_sup))
         n_checkpoints = 0
         if resilient:
             # iteration-0 snapshot: the pre-loop state is always
@@ -775,6 +793,9 @@ class ChaseSolver:
                      degs_full) = self._restore(trace, restart=from_zero,
                                                 rng=rng)
                     filter_ws = FilterWorkspace()
+                    # a restore rewinds the residual history the sticky
+                    # promotion was based on; restart the policy clean
+                    policy = PrecisionPolicy()
                 H = self.H
                 injector.note("recovered", it, locked,
                               self.grid.p, self.grid.q)
@@ -811,15 +832,25 @@ class ChaseSolver:
             degs_active = degs_active[order]
             degs_full[locked:] = degs_active
 
+            # the condition estimate is a pure float computation on data
+            # fixed before the filter runs, so it can gate the filter's
+            # working precision (Algorithm 5 feeds both QR selection and
+            # the mixed-precision policy)
+            cond = estimate_condition(ritzv, c, e, degs_full, locked)
+            token = policy.decide(
+                cond_est=cond,
+                resd=None if resd is None else resd[locked:],
+                scale=res_scale,
+            )
+            wdtype = resolve_work_dtype(H.dtype, token)
+
             with tracer.phase("Filter"):
                 mv = chebyshev_filter(
                     self.hemm, C, locked, degs_active, c, e, mu1_f,
-                    workspace=filter_ws,
+                    workspace=filter_ws, work_dtype=wdtype,
                 )
                 if self.scheme == "lms":
                     self._lms_stage_full(H.N * ne * np.dtype(H.dtype).itemsize)
-
-            cond = estimate_condition(ritzv, c, e, degs_full, locked)
             cond_true = None
             gathered_c = None
             if cfg.compute_true_cond:
@@ -950,6 +981,8 @@ class ChaseSolver:
             recoveries=recoveries,
             checkpoints=n_checkpoints,
             fault_log=list(injector.log) if injector is not None else [],
+            precision_log=list(policy.log),
+            precision_promote_reason=policy.promote_reason,
         )
 
     # -------------------------------------------------------------- phantom
@@ -979,13 +1012,21 @@ class ChaseSolver:
         c = (bounds.b_sup + bounds.mu_ne) / 2.0
         e = (bounds.b_sup - bounds.mu_ne) / 2.0
 
+        # phantom replays drive the precision policy off the recorded
+        # per-iteration condition estimates (no residuals exist), so the
+        # autotuner's modeled makespans see the same fp32/fp64 schedule
+        # cond-gating would produce on the real trace
+        policy = PrecisionPolicy()
         total_mv = 0
         for rec in trace.records:
             locked = rec.locked_before
             degs = np.sort(np.asarray(rec.degrees, dtype=np.int64))
+            token = policy.decide(cond_est=rec.cond_est)
+            wdtype = resolve_work_dtype(H.dtype, token)
             with tracer.phase("Filter"):
                 total_mv += chebyshev_filter(
-                    self.hemm, C, locked, degs, c, e, bounds.mu1
+                    self.hemm, C, locked, degs, c, e, bounds.mu1,
+                    work_dtype=wdtype,
                 )
                 if self.scheme == "lms":
                     self._lms_stage_full(
@@ -1022,6 +1063,8 @@ class ChaseSolver:
             timings=timings,
             makespan=grid.cluster.makespan(),
             qr_variants=[r.qr_variant for r in trace.records],
+            precision_log=list(policy.log),
+            precision_promote_reason=policy.promote_reason,
         )
 
     def _phantom_lanczos_cost(self) -> None:

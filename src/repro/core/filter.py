@@ -137,17 +137,21 @@ class FilterWorkspace:
     """
 
     def __init__(self) -> None:
-        self._buffers: dict[str, list[DistributedMultiVector]] = {}
-        self._flip: dict[str, int] = {}
+        self._buffers: dict[tuple[str, str], list[DistributedMultiVector]] = {}
+        self._flip: dict[tuple[str, str], int] = {}
 
     def out_view(self, H, layout: str, width: int, dtype) -> DistributedMultiVector:
         """The next ping-pong buffer for ``layout``, viewed to ``width``."""
         index_map = H.colmap if layout == "B" else H.rowmap
-        pair = self._buffers.get(layout)
+        # keyed by (layout, dtype) so a mixed-precision solve that
+        # alternates fp32 and fp64 filter calls (the condest gate is
+        # per-iteration) keeps both buffer sets alive instead of
+        # reallocating on every precision switch
+        key = (layout, np.dtype(dtype).str)
+        pair = self._buffers.get(key)
         if (
             pair is None
             or pair[0].ne < width
-            or pair[0].dtype != np.dtype(dtype)
             or pair[0].index_map is not index_map
             or pair[0].grid is not H.grid
         ):
@@ -157,12 +161,49 @@ class FilterWorkspace:
                 )
                 for _ in range(2)
             ]
-            self._buffers[layout] = pair
-            self._flip[layout] = 0
-        idx = self._flip[layout]
-        self._flip[layout] = 1 - idx
+            self._buffers[key] = pair
+            self._flip[key] = 0
+        idx = self._flip[key]
+        self._flip[key] = 1 - idx
         buf = pair[idx]
         return buf if buf.ne == width else buf.view_cols(0, width)
+
+
+def _cast_mv(
+    X: DistributedMultiVector, dtype, *, charge_only: bool = False
+) -> DistributedMultiVector | None:
+    """Cast ``X`` to ``dtype`` blockwise, charging a cast kernel per rank.
+
+    Dedup-aware: on an aliased multivector the conversion is computed
+    once per replication group (replicas charged ``compute=False``) and
+    the fresh array aliased into every replica slot.  Phantom blocks
+    yield phantom blocks of the new dtype, so the charge-only tiers and
+    the autotuner model demote/promote traffic identically to numeric
+    runs.  With ``charge_only`` the per-rank charges are issued and no
+    data is produced (the promote path: ``write_into`` performs the
+    widening assignment itself).
+    """
+    grid = X.grid
+    blocks: dict = {}
+    for i in range(grid.p):
+        for j in range(grid.q):
+            rank = grid.rank_at(i, j)
+            key = (i, j)
+            if charge_only:
+                rank.k.cast(X.blocks[key], dtype, compute=False)
+                continue
+            if X.aliased:
+                root = X.rep_root(i, j)
+                if root in blocks:
+                    rank.k.cast(X.blocks[key], dtype, compute=False)
+                    blocks[key] = blocks[root]
+                    continue
+            blocks[key] = rank.k.cast(X.blocks[key], dtype)
+    if charge_only:
+        return None
+    return DistributedMultiVector(
+        grid, X.index_map, X.layout, X.ne, blocks, dtype, aliased=X.aliased
+    )
 
 
 def chebyshev_filter(
@@ -174,6 +215,7 @@ def chebyshev_filter(
     e: float,
     mu1: float,
     workspace: FilterWorkspace | None = None,
+    work_dtype=None,
 ) -> int:
     """Filter ``C[:, locked:]`` in place; returns MatVecs performed.
 
@@ -185,6 +227,15 @@ def chebyshev_filter(
     recurrence's ping-pong output buffers so the per-step applies and
     axpbys reuse storage across steps — and across filter calls when
     the caller keeps the workspace alive (``ChaseSolver.solve`` does).
+
+    ``work_dtype`` (mixed precision, DESIGN.md §5g): when given and
+    narrower than ``C.dtype``, the active block is demoted once on
+    entry, the whole recurrence — HEMM applies, reductions, axpbys —
+    runs in the narrow dtype, and columns are promoted back to
+    ``C.dtype`` as they retire.  Demote and promote are charged as
+    bandwidth-bound cast kernels on every rank.  ``None`` (default) or
+    ``C.dtype`` leaves the filter bit-identical to the full-precision
+    path.
     """
     degrees = np.asarray(degrees, dtype=np.int64)
     n_active = C.ne - locked
@@ -205,17 +256,25 @@ def chebyshev_filter(
     max_deg = int(degrees[-1])
     retired = 0  # columns already written back
 
+    wdt = None
+    if work_dtype is not None and np.dtype(work_dtype) != C.dtype:
+        wdt = np.dtype(work_dtype)
+    run_dtype = wdt if wdt is not None else C.dtype
+
     ws = workspace if (C.aliased and not C.is_phantom) else None
 
     def out_for(layout: str, width: int):
         if ws is None:
             return None
-        return ws.out_view(hemm.H, layout, width, C.dtype)
+        return ws.out_view(hemm.H, layout, width, run_dtype)
 
     sigma1 = e / (mu1 - c)
     sigma = sigma1
 
     X_prev = C.view_cols(locked, C.ne)  # X_0, layout "C"
+    if wdt is not None:
+        # demote the active block once; the whole recurrence runs narrow
+        X_prev = _cast_mv(X_prev, wdt)
     X_cur = hemm.apply(
         X_prev, alpha=sigma1 / e, gamma=c, out=out_for("B", n_active),
         pipeline=True,
@@ -237,7 +296,12 @@ def chebyshev_filter(
             # X_cur is in the C layout: retire columns whose degree == t
             done = int(np.searchsorted(degrees[retired:], t, side="right"))
             if done:
-                X_cur.view_cols(0, done).write_into(C, locked + retired)
+                finished = X_cur.view_cols(0, done)
+                if wdt is not None:
+                    # promote at retire: write_into's widening assignment
+                    # does the data conversion; charge the cast per rank
+                    _cast_mv(finished, C.dtype, charge_only=True)
+                finished.write_into(C, locked + retired)
                 retired += done
                 width = X_cur.ne
                 X_cur = X_cur.view_cols(done, width)

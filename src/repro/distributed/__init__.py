@@ -15,6 +15,10 @@ Implements the paper's data decomposition (Sec. 2.2 / 3.1):
 from repro.distributed.block import BlockMap1D, BlockCyclicMap1D, overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.replication import (
+    comm_compress,
+    comm_compress_scope,
+    filter_dtype,
+    filter_dtype_scope,
     filter_pipeline,
     filter_pipeline_chunks,
     filter_pipeline_enabled,
@@ -22,6 +26,8 @@ from repro.distributed.replication import (
     hemm_fusion_enabled,
     numeric_dedup,
     numeric_dedup_enabled,
+    set_comm_compress,
+    set_filter_dtype,
     set_filter_pipeline,
     set_hemm_fusion,
     set_numeric_dedup,
@@ -49,4 +55,10 @@ __all__ = [
     "filter_pipeline_chunks",
     "filter_pipeline_enabled",
     "set_filter_pipeline",
+    "filter_dtype",
+    "set_filter_dtype",
+    "filter_dtype_scope",
+    "comm_compress",
+    "set_comm_compress",
+    "comm_compress_scope",
 ]

@@ -66,10 +66,34 @@ from repro.distributed import replication
 from repro.distributed.block import overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.multivector import DistributedMultiVector
+from repro.perfmodel.collectives import payload_ratio
+from repro.perfmodel.kernels import bytes_per_scalar
 from repro.runtime import executor
 from repro.runtime.device import LocalKernels, axpy_into_numeric
 
 __all__ = ["DistributedHemm"]
+
+# single-precision counterpart of each double-precision result dtype
+_NARROW = {
+    np.dtype(np.float64): np.dtype(np.float32),
+    np.dtype(np.complex128): np.dtype(np.complex64),
+}
+
+
+def _work_dtype(h_dtype, x_dtype) -> np.dtype:
+    """Result dtype of one apply.
+
+    The seed promotion rule (``np.result_type``) — except that a
+    *narrow* input (the mixed-precision filter's demoted multivector,
+    DESIGN.md §5g) keeps the whole apply narrow: the H blocks are cast
+    down to the input's word width rather than the input promoted up.
+    With matching widths this is ``np.result_type`` exactly, so the
+    default fp64 path is untouched.
+    """
+    rt = np.result_type(h_dtype, x_dtype)
+    if bytes_per_scalar(x_dtype) < bytes_per_scalar(rt):
+        return _NARROW.get(rt, rt)
+    return rt
 
 
 def _chunk_edges(width: int, n_chunks: int) -> list[int]:
@@ -92,9 +116,10 @@ class DistributedHemm:
         self.H = H
         self.grid = H.grid
         self.matvecs = 0  # cumulative single-vector H-applications
-        self._hconj: dict[tuple[int, int], np.ndarray] = {}
-        self._panels: dict[int, np.ndarray] = {}
-        self._panels_conj: dict[int, np.ndarray] = {}
+        self._hconj: dict[tuple, np.ndarray] = {}
+        self._hwork: dict[tuple, object] = {}
+        self._panels: dict[tuple, np.ndarray] = {}
+        self._panels_conj: dict[tuple, np.ndarray] = {}
         #: overlap_pairs is a pure function of the (immutable) index
         #: maps, so this cache needs no version key
         self._overlaps: dict[tuple[int, int], list] = {}
@@ -108,9 +133,17 @@ class DistributedHemm:
 
     # -- caches -----------------------------------------------------------------
     def _sync_caches(self) -> None:
-        """Drop derived-array caches when ``H`` blocks were replaced."""
+        """Drop derived-array caches when ``H`` blocks were replaced.
+
+        The conjugate/panel/work caches are keyed by dtype *within* one
+        ``H.version`` — a precision promote/demote switches keys, never
+        reuses a block cast from different data — and all of them are
+        dropped together here, so no stale narrow copy can survive a
+        ``replace_local``.
+        """
         if self._cache_version != self.H.version:
             self._hconj.clear()
+            self._hwork.clear()
             self._panels.clear()
             self._panels_conj.clear()
             self._apply_time_cache.clear()
@@ -124,24 +157,50 @@ class DistributedHemm:
             self._overlaps[(i, j)] = pairs
         return pairs
 
-    def _h_conj(self, i: int, j: int):
-        """``H.local(i, j).conj()``, cached for complex numeric blocks.
+    def _local_work(self, i: int, j: int, rdtype):
+        """``H.local(i, j)`` in the apply's working dtype.
+
+        The seed (full-width) path returns the block itself.  A narrow
+        (mixed-precision) apply returns a cached single-precision cast
+        instead: the cast runs once per block per ``H.version`` and
+        charges the owning rank one :meth:`LocalKernels.cast` at build
+        time — the model keeps the narrow copy resident thereafter
+        (see ``perfmodel.memory.chase_new_scheme_bytes``).
+        """
+        Hij = self.H.local(i, j)
+        rdt = np.dtype(rdtype)
+        if bytes_per_scalar(rdt) >= bytes_per_scalar(self.H.dtype):
+            return Hij
+        wdt = _NARROW.get(np.dtype(self.H.dtype))
+        key = (i, j, wdt.str)
+        cached = self._hwork.get(key)
+        if cached is None:
+            cached = self.grid.rank_at(i, j).k.cast(Hij, wdt)
+            self._hwork[key] = cached
+        return cached
+
+    def _h_conj(self, i: int, j: int, rdtype=None):
+        """Work-dtype ``H`` block conjugate, cached for complex numerics.
 
         The gemm for the C->B direction evaluates ``A.conj().T @ X``;
         caching the ``.conj()`` (a per-call full copy for complex
         dtypes) and handing out the same array preserves the exact
         operand memory layout, so results stay bit-identical to the
-        uncached path.
+        uncached path.  With a narrow ``rdtype`` the conjugate is taken
+        of the cached narrow cast; keys carry the dtype so a precision
+        promote/demote can never hand back the wrong-width block.
         """
-        Hij = self.H.local(i, j)
+        Hij = self.H.local(i, j) if rdtype is None \
+            else self._local_work(i, j, rdtype)
         if is_phantom(Hij) or np.dtype(self.H.dtype).kind != "c":
             return None  # .conj() is free (a view) for real ndarrays
         if not replication.numeric_dedup_enabled():
             return None
-        cached = self._hconj.get((i, j))
+        key = (i, j, np.dtype(Hij.dtype).str)
+        cached = self._hconj.get(key)
         if cached is None:
             cached = Hij.conj()
-            self._hconj[(i, j)] = cached
+            self._hconj[key] = cached
         return cached
 
     def _stack_offsets(self) -> list[int]:
@@ -154,24 +213,38 @@ class DistributedHemm:
             self._offsets = offs
         return self._offsets
 
-    def _row_panel(self, i: int) -> np.ndarray:
-        """``[H_i0 | ... | H_i,q-1]`` — the grid row's blocks, stacked."""
-        P = self._panels.get(i)
+    def _row_panel(self, i: int, rdtype=None) -> np.ndarray:
+        """``[H_i0 | ... | H_i,q-1]`` — the grid row's blocks, stacked.
+
+        Cached per (row, dtype): a narrow apply stacks the cached
+        work-dtype casts (charging their one-time cast builds), a
+        full-width apply the blocks themselves.
+        """
+        rdt = np.dtype(rdtype if rdtype is not None else self.H.dtype)
+        narrow = bytes_per_scalar(rdt) < bytes_per_scalar(self.H.dtype)
+        pdt = _NARROW[np.dtype(self.H.dtype)] if narrow else np.dtype(self.H.dtype)
+        key = (i, pdt.str)
+        P = self._panels.get(key)
         if P is None:
-            P = np.hstack(
-                [np.asarray(self.H.local(i, j)) for j in range(self.grid.q)]
-            )
-            self._panels[i] = P
+            blocks = [
+                np.asarray(self._local_work(i, j, rdt) if narrow
+                           else self.H.local(i, j))
+                for j in range(self.grid.q)
+            ]
+            P = np.hstack(blocks)
+            self._panels[key] = P
         return P
 
-    def _row_panel_conj(self, i: int) -> np.ndarray:
+    def _row_panel_conj(self, i: int, rdtype=None) -> np.ndarray:
         """Elementwise conjugate of the fused row panel (complex C->B)."""
         if np.dtype(self.H.dtype).kind != "c":
-            return self._row_panel(i)
-        P = self._panels_conj.get(i)
+            return self._row_panel(i, rdtype)
+        P0 = self._row_panel(i, rdtype)
+        key = (i, P0.dtype.str)
+        P = self._panels_conj.get(key)
         if P is None:
-            P = self._row_panel(i).conj()
-            self._panels_conj[i] = P
+            P = P0.conj()
+            self._panels_conj[key] = P
         return P
 
     def _scratch_arr(self, key: tuple, shape: tuple, dtype) -> np.ndarray:
@@ -219,6 +292,19 @@ class DistributedHemm:
         to_b = X.layout == "C"
         out_map = H.colmap if to_b else H.rowmap
         out_layout = "B" if to_b else "C"
+        rdtype = _work_dtype(H.dtype, X.dtype)
+        # compressed payloads apply to the filter hot path only (calls
+        # marked pipeline-eligible) and only while the apply runs in the
+        # narrow working dtype: quantization noise is O(eps32), so once
+        # the precision policy promotes the filter back to fp64 the wire
+        # must widen with it or residuals plateau above fp64 tolerance
+        payload = replication.comm_compress() if pipeline else "none"
+        payload = None if payload == "none" else payload
+        if payload is not None and (
+            bytes_per_scalar(rdtype)
+            >= bytes_per_scalar(np.result_type(H.dtype, X.dtype))
+        ):
+            payload = None
 
         dedup = X.aliased and not X.is_phantom
         numeric_h = not is_phantom(H.local(0, 0))
@@ -226,25 +312,25 @@ class DistributedHemm:
         if pipeline and replication.filter_pipeline_enabled() and width >= 2:
             return self._apply_pipelined(
                 X, cols, width, to_b, alpha, gamma, out,
-                dedup and numeric_h, fused,
+                dedup and numeric_h, fused, rdtype, payload,
             )
         if dedup and numeric_h and (
             fused or out is not None or executor.kernel_workers() > 1
         ):
             return self._apply_decoupled(
-                X, cols, width, to_b, alpha, gamma, out, fused
+                X, cols, width, to_b, alpha, gamma, out, fused, rdtype, payload
             )
 
         contrib: dict[tuple[int, int], object] = {}
         for i in range(grid.p):
             for j in range(grid.q):
                 rank = grid.rank_at(i, j)
-                Hij = H.local(i, j)
+                Hij = self._local_work(i, j, rdtype)
                 Xblk = X.local(i, j)
                 Xcols = Xblk.cols(cols.start, cols.stop) if is_phantom(Xblk) \
                     else Xblk[:, cols]
                 if to_b:
-                    Hc = self._h_conj(i, j)
+                    Hc = self._h_conj(i, j, rdtype)
                     if Hc is not None:
                         # same flops/charge as op_a="C" (gemm_flops is
                         # symmetric in the m/k swap); operand layout
@@ -271,7 +357,8 @@ class DistributedHemm:
             for j in range(grid.q):
                 comm = grid.col_comm(j)
                 res = comm.allreduce(
-                    [contrib[(i, j)] for i in range(grid.p)], shared=dedup
+                    [contrib[(i, j)] for i in range(grid.p)], shared=dedup,
+                    payload_dtype=payload,
                 )
                 if dedup:
                     for i in range(grid.p):
@@ -280,15 +367,15 @@ class DistributedHemm:
             for i in range(grid.p):
                 comm = grid.row_comm(i)
                 res = comm.allreduce(
-                    [contrib[(i, j)] for j in range(grid.q)], shared=dedup
+                    [contrib[(i, j)] for j in range(grid.q)], shared=dedup,
+                    payload_dtype=payload,
                 )
                 if dedup:
                     for j in range(grid.q):
                         contrib[(i, j)] = res[0]
 
-        dtype = np.result_type(H.dtype, X.dtype)
         return DistributedMultiVector(
-            grid, out_map, out_layout, width, contrib, dtype, aliased=dedup
+            grid, out_map, out_layout, width, contrib, rdtype, aliased=dedup
         )
 
     # -- decoupled charge / numeric execution -------------------------------------
@@ -306,7 +393,8 @@ class DistributedHemm:
             return None
         return out
 
-    def _apply_decoupled(self, X, cols, width, to_b, alpha, gamma, out, fused):
+    def _apply_decoupled(self, X, cols, width, to_b, alpha, gamma, out, fused,
+                         rdtype, payload):
         """Charge-first, compute-second execution of an aliased apply.
 
         Pass 1 issues, on the main thread and in the exact seed order,
@@ -319,7 +407,6 @@ class DistributedHemm:
         """
         grid, H = self.grid, self.H
         p, q = grid.p, grid.q
-        rdtype = np.result_type(H.dtype, X.dtype)
         out_map = H.colmap if to_b else H.rowmap
         out_layout = "B" if to_b else "C"
         out = self._usable_out(out, out_layout, out_map, width, rdtype)
@@ -328,7 +415,7 @@ class DistributedHemm:
         for i in range(p):
             for j in range(q):
                 rank = grid.rank_at(i, j)
-                Hij = H.local(i, j)
+                Hij = self._local_work(i, j, rdtype)
                 Xb = X.local(i, j)[:, cols]
                 rank.k.gemm(
                     Hij, Xb, op_a="C" if to_b else "N", kind="hemm", compute=False
@@ -351,11 +438,11 @@ class DistributedHemm:
         # ---- pass 2: numerics (closures) + reductions ----
         if fused:
             blocks, base = self._numeric_fused(
-                X, cols, width, to_b, alpha, gamma, out, rdtype
+                X, cols, width, to_b, alpha, gamma, out, rdtype, payload
             )
         else:
             blocks, base = self._numeric_per_block(
-                X, cols, width, to_b, alpha, gamma, out, rdtype
+                X, cols, width, to_b, alpha, gamma, out, rdtype, payload
             )
         result = DistributedMultiVector(
             grid, out_map, out_layout, width, blocks, rdtype, aliased=True
@@ -363,7 +450,8 @@ class DistributedHemm:
         result.stacked_base = base
         return result
 
-    def _numeric_fused(self, X, cols, width, to_b, alpha, gamma, out, rdtype):
+    def _numeric_fused(self, X, cols, width, to_b, alpha, gamma, out, rdtype,
+                       payload=None):
         """Fused-panel numerics: one GEMM per grid row."""
         grid = self.grid
         p, q = grid.p, grid.q
@@ -376,14 +464,16 @@ class DistributedHemm:
             roots = {}
             for j in range(q):
                 bufs = [panels[i][offs[j]:offs[j + 1]] for i in range(p)]
-                res = grid.col_comm(j).allreduce(bufs, shared=True)
+                res = grid.col_comm(j).allreduce(bufs, shared=True,
+                                                 payload_dtype=payload)
                 roots[j] = res[0]
             blocks = self._fused_cb_blocks(roots, base, out)
             return blocks, base
 
         tgts = self._fused_bc_targets(X, cols, width, alpha, gamma, out, rdtype)
         for i in range(p):
-            grid.row_comm(i).allreduce([tgts[i]] * q, compute=False)
+            grid.row_comm(i).allreduce([tgts[i]] * q, compute=False,
+                                       payload_dtype=payload)
         blocks = {(i, j): tgts[i] for i in range(p) for j in range(q)}
         base = out.stacked_base if out is not None else None
         return blocks, base
@@ -402,7 +492,7 @@ class DistributedHemm:
         closures = []
         panels = []
         for i in range(p):
-            P = self._row_panel_conj(i)
+            P = self._row_panel_conj(i, rdtype)
             Xb = X.local(i, 0)[:, cols]
             if i == 0:
                 tgt = base if base is not None \
@@ -454,7 +544,7 @@ class DistributedHemm:
         closures = []
         tgts = []
         for i in range(p):
-            P = self._row_panel(i)
+            P = self._row_panel(i, rdtype)
             if out is not None:
                 tgt = out.blocks[(i, 0)]
             else:
@@ -498,14 +588,14 @@ class DistributedHemm:
         partials = {}
         for i in range(p):
             for j in range(q):
-                Hij = H.local(i, j)
+                Hij = self._local_work(i, j, rdtype)
                 Xb = X.local(i, j)[:, cols]
                 if to_b:
                     if complex_h:
                         # cached conj for complex (exact seed operand
                         # layout); falls back to the per-call conj
                         # temporary when the dedup switch is off
-                        Hc = self._h_conj(i, j)
+                        Hc = self._h_conj(i, j, rdtype)
                         Aop = Hc.T if Hc is not None else Hij.conj().T
                     else:
                         Aop = Hij.T  # .T is a free view for real blocks
@@ -542,7 +632,8 @@ class DistributedHemm:
         executor.run_kernels(closures)
         return partials
 
-    def _numeric_per_block(self, X, cols, width, to_b, alpha, gamma, out, rdtype):
+    def _numeric_per_block(self, X, cols, width, to_b, alpha, gamma, out, rdtype,
+                           payload=None):
         """Seed-granularity numerics (partials + shared reductions).
 
         Used when fusion is off but an ``out`` buffer or a worker pool
@@ -558,14 +649,16 @@ class DistributedHemm:
         if to_b:
             for j in range(q):
                 res = grid.col_comm(j).allreduce(
-                    [partials[(i, j)] for i in range(p)], shared=True
+                    [partials[(i, j)] for i in range(p)], shared=True,
+                    payload_dtype=payload,
                 )
                 for i in range(p):
                     blocks[(i, j)] = res[0]
         else:
             for i in range(p):
                 res = grid.row_comm(i).allreduce(
-                    [partials[(i, j)] for j in range(q)], shared=True
+                    [partials[(i, j)] for j in range(q)], shared=True,
+                    payload_dtype=payload,
                 )
                 for j in range(q):
                     blocks[(i, j)] = res[0]
@@ -604,8 +697,13 @@ class DistributedHemm:
                 Hij = H.local(i, j)
                 xrows = Hij.shape[0] if to_b else Hij.shape[1]
                 rows = Hij.shape[1] if to_b else Hij.shape[0]
+                # dtype proxy for H: the replayed gemm must charge at
+                # the *working* dtype (a narrow apply runs on the cached
+                # narrow cast); for a full-width apply this is exactly
+                # result_type(H.dtype, rdtype), as before
                 k.gemm(
-                    Hij, PhantomArray((xrows, width), rdtype),
+                    PhantomArray(tuple(Hij.shape), rdtype),
+                    PhantomArray((xrows, width), rdtype),
                     op_a="C" if to_b else "N", kind="hemm", compute=False,
                 )
                 if gamma != 0.0:
@@ -625,7 +723,7 @@ class DistributedHemm:
         return times
 
     def _apply_pipelined(self, X, cols, width, to_b, alpha, gamma, out,
-                         dedup, fused):
+                         dedup, fused, rdtype, payload):
         """Chunked nonblocking execution of an apply (DESIGN.md §5d).
 
         The width-wide block is split into
@@ -652,7 +750,6 @@ class DistributedHemm:
         """
         grid, H = self.grid, self.H
         p, q = grid.p, grid.q
-        rdtype = np.result_type(H.dtype, X.dtype)
         out_map = H.colmap if to_b else H.rowmap
         out_layout = "B" if to_b else "C"
         phantom = X.is_phantom or is_phantom(H.local(0, 0))
@@ -734,9 +831,12 @@ class DistributedHemm:
         # ---- chunked model loop: charge k, wait k-1, issue k ----
         edges = _chunk_edges(width, replication.filter_pipeline_chunks())
         times = self._apply_times(to_b, width, alpha, gamma, rdtype)
+        # compressed payloads shrink the wire bytes the chunk durations
+        # and stagings are derived from (1.0 exactly when inactive)
+        ratio = payload_ratio(rdtype, payload) if payload is not None else 1.0
         group_cost = []
         for comm, bufs, _s, _c in groups:
-            nb_full = float(nbytes_of(bufs[0]))
+            nb_full = float(nbytes_of(bufs[0])) * ratio
             # routed through the communicator's selected collective
             # algorithm/topology so chunked charges match blocking ones
             d_full = comm.collective_time("allreduce", nb_full)
@@ -757,6 +857,7 @@ class DistributedHemm:
                     shared=shared, compute=compute,
                     duration=d_full * frac,
                     stage_seconds=(st_full * frac) if st_full > 0.0 else None,
+                    payload_dtype=payload,
                 )
                 for (comm, bufs, shared, compute), (d_full, st_full)
                 in zip(groups, group_cost)

@@ -39,6 +39,12 @@ __all__ = [
     "filter_pipeline_chunks",
     "set_filter_pipeline",
     "filter_pipeline",
+    "filter_dtype",
+    "set_filter_dtype",
+    "filter_dtype_scope",
+    "comm_compress",
+    "set_comm_compress",
+    "comm_compress_scope",
 ]
 
 _ENABLED = True
@@ -137,6 +143,91 @@ def filter_pipeline(enabled: bool, chunks: int | None = None):
         yield
     finally:
         set_filter_pipeline(prev_enabled, prev_chunks)
+
+
+_FILTER_DTYPES = ("fp64", "fp32")
+_COMPRESS_PAYLOADS = ("none", "fp32", "bf16")
+
+
+def _filter_dtype_from_env() -> str:
+    raw = os.environ.get("REPRO_FILTER_DTYPE", "").strip().lower()
+    return raw if raw in _FILTER_DTYPES else "fp64"
+
+
+def _compress_from_env() -> str:
+    raw = os.environ.get("REPRO_COMM_COMPRESS", "").strip().lower()
+    return raw if raw in _COMPRESS_PAYLOADS else "none"
+
+
+#: Mixed-precision Chebyshev filter (DESIGN.md §5g).  ``"fp64"`` (the
+#: default) is the seed path byte for byte; ``"fp32"`` asks the solver's
+#: precision policy (``repro.core.precision``) to run the filter in
+#: single precision while its condest-driven bounds say it is safe,
+#: promoting back to fp64 filtering otherwise.  QR/RR/residuals always
+#: run in fp64.
+_FILTER_DTYPE = _filter_dtype_from_env()
+
+#: Compressed filter collectives (DESIGN.md §5g).  ``"none"`` (the
+#: default) keeps full-width payloads; ``"fp32"``/``"bf16"`` quantize
+#: the HEMM reduction payloads of the filter hot path to 4-/2-byte real
+#: words with fp64 accumulation.  Off by default: quantization perturbs
+#: numerics, so the exact-reproduction default stays off.
+_COMM_COMPRESS = _compress_from_env()
+
+
+def filter_dtype() -> str:
+    """Requested filter working precision: ``"fp64"`` or ``"fp32"``."""
+    return _FILTER_DTYPE
+
+
+def set_filter_dtype(mode: str) -> str:
+    """Set the global filter precision mode; returns the previous value."""
+    global _FILTER_DTYPE
+    mode = str(mode).strip().lower()
+    if mode not in _FILTER_DTYPES:
+        raise ValueError(
+            f"filter dtype must be one of {_FILTER_DTYPES}, got {mode!r}")
+    prev = _FILTER_DTYPE
+    _FILTER_DTYPE = mode
+    return prev
+
+
+@contextlib.contextmanager
+def filter_dtype_scope(mode: str):
+    """Context manager scoping the filter precision mode."""
+    prev = set_filter_dtype(mode)
+    try:
+        yield
+    finally:
+        set_filter_dtype(prev)
+
+
+def comm_compress() -> str:
+    """Collective payload compression: ``"none"``, ``"fp32"`` or ``"bf16"``."""
+    return _COMM_COMPRESS
+
+
+def set_comm_compress(payload: str) -> str:
+    """Set the global payload compression mode; returns the previous value."""
+    global _COMM_COMPRESS
+    payload = str(payload).strip().lower()
+    if payload not in _COMPRESS_PAYLOADS:
+        raise ValueError(
+            f"compression payload must be one of {_COMPRESS_PAYLOADS}, "
+            f"got {payload!r}")
+    prev = _COMM_COMPRESS
+    _COMM_COMPRESS = payload
+    return prev
+
+
+@contextlib.contextmanager
+def comm_compress_scope(payload: str):
+    """Context manager scoping the payload compression mode."""
+    prev = set_comm_compress(payload)
+    try:
+        yield
+    finally:
+        set_comm_compress(prev)
 
 
 def numeric_dedup_enabled() -> bool:

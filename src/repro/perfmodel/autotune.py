@@ -43,6 +43,7 @@ __all__ = [
     "TuneConfig",
     "TuneResult",
     "TuneReport",
+    "DEFAULT_PRECISION_OPTIONS",
     "grid_factorizations",
     "default_config",
     "enumerate_candidates",
@@ -54,6 +55,10 @@ __all__ = [
 DEFAULT_CHUNKS = (0, 4)
 #: collective algorithms tried
 DEFAULT_ALGOS = ("ring", "tree", "hierarchical", "auto")
+#: (filter_dtype, comm_compress) pairs tried when precision tuning is
+#: requested (``repro tune --precision``); the default candidate set
+#: stays fp64-only so untuned results remain bit-identical to the seed
+DEFAULT_PRECISION_OPTIONS = (("fp64", "none"), ("fp32", "none"), ("fp32", "fp32"))
 
 
 @dataclass(frozen=True)
@@ -66,6 +71,8 @@ class TuneConfig:
     pipeline_chunks: int = 0     # 0 = blocking filter
     hemm_fusion: bool = False
     overlap: float | None = None # None = backend model's default
+    filter_dtype: str = "fp64"   # mixed-precision filter (DESIGN.md §5g)
+    comm_compress: str = "none"  # compressed allreduce payload dtype
 
     def label(self) -> str:
         bits = [f"{self.p}x{self.q}", self.algo,
@@ -73,11 +80,16 @@ class TuneConfig:
                 f"fusion={'on' if self.hemm_fusion else 'off'}"]
         if self.overlap is not None:
             bits.append(f"overlap={self.overlap:g}")
+        if self.filter_dtype != "fp64":
+            bits.append(f"filter={self.filter_dtype}")
+        if self.comm_compress != "none":
+            bits.append(f"compress={self.comm_compress}")
         return " ".join(bits)
 
     def _score_key(self) -> tuple:
         """Model-relevant projection (fusion is modeled-time neutral)."""
-        return (self.p, self.q, self.algo, self.pipeline_chunks, self.overlap)
+        return (self.p, self.q, self.algo, self.pipeline_chunks,
+                self.overlap, self.filter_dtype, self.comm_compress)
 
 
 @dataclass(frozen=True)
@@ -140,8 +152,15 @@ def enumerate_candidates(
     chunk_options: tuple[int, ...] = DEFAULT_CHUNKS,
     fusion_options: tuple[bool, ...] = (False, True),
     overlaps: tuple[float | None, ...] = (None,),
+    precision_options: tuple[tuple[str, str], ...] = (("fp64", "none"),),
 ) -> list[TuneConfig]:
-    """The candidate grid; always contains :func:`default_config`."""
+    """The candidate grid; always contains :func:`default_config`.
+
+    ``precision_options`` lists ``(filter_dtype, comm_compress)`` pairs;
+    the default enumerates fp64-only (opt in to mixed precision with
+    :data:`DEFAULT_PRECISION_OPTIONS`, as ``repro tune --precision``
+    does).
+    """
     cands = []
     for p, q in grid_factorizations(n_ranks):
         for algo in algos:
@@ -151,10 +170,12 @@ def enumerate_candidates(
                     raise ValueError(f"pipeline chunk counts must be 0 or >= 2, got {chunks}")
                 for fusion in fusion_options:
                     for overlap in overlaps:
-                        cands.append(TuneConfig(
-                            p=p, q=q, algo=algo, pipeline_chunks=chunks,
-                            hemm_fusion=fusion, overlap=overlap,
-                        ))
+                        for fdt, comp in precision_options:
+                            cands.append(TuneConfig(
+                                p=p, q=q, algo=algo, pipeline_chunks=chunks,
+                                hemm_fusion=fusion, overlap=overlap,
+                                filter_dtype=fdt, comm_compress=comp,
+                            ))
     default = default_config(n_ranks)
     if default not in cands:
         cands.insert(0, default)
@@ -200,7 +221,11 @@ def applied(cfg: TuneConfig, *, n_ranks: int, backend,
     --tuned`` and the wallclock benchmark solve inside this scope.
     """
     from repro.distributed import filter_pipeline
-    from repro.distributed.replication import hemm_fusion
+    from repro.distributed.replication import (
+        comm_compress_scope,
+        filter_dtype_scope,
+        hemm_fusion,
+    )
 
     grid = _build_cluster(
         cfg, n_ranks=n_ranks, backend=backend, machine=machine,
@@ -209,7 +234,9 @@ def applied(cfg: TuneConfig, *, n_ranks: int, backend,
     )
     with filter_pipeline(cfg.pipeline_chunks > 0,
                          cfg.pipeline_chunks or None), \
-            hemm_fusion(cfg.hemm_fusion):
+            hemm_fusion(cfg.hemm_fusion), \
+            filter_dtype_scope(cfg.filter_dtype), \
+            comm_compress_scope(cfg.comm_compress):
         yield grid
 
 
@@ -297,6 +324,9 @@ def autotune(
     results.sort(key=lambda r: (
         r.makespan,
         not r.config.hemm_fusion,
+        # at equal modeled time prefer full precision / no compression
+        r.config.filter_dtype != "fp64",
+        r.config.comm_compress != "none",
         r.config.pipeline_chunks,
         algo_order.get(r.config.algo, len(algo_order)),
         abs(r.config.p - r.config.q),

@@ -31,6 +31,20 @@ locally, exactly as on one real node.  To calibrate the derates on a
 cluster, fit ``hop_latency`` to the latency gap between same-leaf and
 cross-core ping-pongs and ``oversub_penalty`` to the busbw loss of an
 all-to-all at full core oversubscription.
+
+A note on the mixed-precision **condition-estimate threshold**
+(``repro.core.precision.DEFAULT_COND_LIMIT = 1e6``, DESIGN.md §5g):
+this is *not* a machine property and calibration leaves it alone.  fp32
+can resolve column bases up to ``kappa ~ 1/eps32 ~ 8.4e6``; the default
+keeps one order of magnitude of safety margin so that CholeskyQR on the
+fp32-filtered block stays out of its shifted regime (Algorithm 4
+switches variants on the same estimate — aligning the two thresholds
+means a block the policy deems fp32-safe is also one plain CholeskyQR2
+factorizes without shifting).  Tighten it only together with evidence
+from the residual-floor telemetry (``ChaseResult.precision_log`` /
+``precision_promote_reason``): if solves promote on "residual
+stagnation" rather than "residual floor", fp32 noise is biting earlier
+than the conditioning gate predicts and the limit should come down.
 """
 
 from __future__ import annotations

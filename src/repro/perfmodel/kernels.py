@@ -16,6 +16,8 @@ from repro.perfmodel.machine import DeviceSpec
 
 __all__ = [
     "complex_factor",
+    "bytes_per_scalar",
+    "dtype_rate_factor",
     "gemm_flops",
     "syrk_flops",
     "potrf_flops",
@@ -31,6 +33,40 @@ __all__ = [
 def complex_factor(dtype) -> int:
     """4 for complex dtypes (each complex mul-add = 4 real mul-add), else 1."""
     return 4 if np.dtype(dtype).kind == "c" else 1
+
+
+def bytes_per_scalar(dtype) -> float:
+    """Bytes of one *real scalar word* of ``dtype``.
+
+    A complex value counts as two real words (so ``complex128`` -> 8.0,
+    matching ``float64``); the string tokens ``"bf16"``/``"bfloat16"``
+    map to 2.0 since NumPy has no native bfloat16.  This is the single
+    place word widths live — payload compression ratios and workspace
+    sizes derive from it instead of hard-coding 8/16.
+    """
+    if isinstance(dtype, str):
+        token = dtype.strip().lower()
+        if token in ("bf16", "bfloat16", "fp16"):
+            return 2.0
+        if token == "fp32":
+            return 4.0
+        if token == "fp64":
+            return 8.0
+    dt = np.dtype(dtype)
+    return dt.itemsize / 2.0 if dt.kind == "c" else float(dt.itemsize)
+
+
+def dtype_rate_factor(dtype) -> float:
+    """Throughput multiplier of ``dtype`` relative to the device's
+    calibrated double-precision rates.
+
+    Vendor BLAS sustains close to 2x the fp64 FLOP rate in fp32 (half
+    the word traffic through the same FMA pipes), so the factor is the
+    word-width ratio ``8 / bytes_per_scalar``, floored at 1.0 —
+    ``float64``/``complex128`` map to exactly 1.0 so the default
+    configuration multiplies rates by 1.0 and stays bit-identical.
+    """
+    return max(1.0, 8.0 / bytes_per_scalar(dtype))
 
 
 def gemm_flops(m: int, n: int, k: int, dtype=np.float64) -> float:
@@ -95,12 +131,17 @@ class KernelTimeModel:
 
     device: DeviceSpec
 
-    def time(self, kind: str, flops: float, bytes_touched: float = 0.0) -> float:
+    def time(self, kind: str, flops: float, bytes_touched: float = 0.0,
+             dtype=None) -> float:
         if flops < 0:
             raise ValueError("negative flop count")
         dev = self.device
         if kind in _RATE_ATTR:
             rate = getattr(dev, _RATE_ATTR[kind])
+            if dtype is not None:
+                factor = dtype_rate_factor(dtype)
+                if factor != 1.0:
+                    rate = rate * factor
             eff = flops / (flops + dev.eff_half_flops) if flops > 0 else 0.0
             compute = flops / (rate * eff) if flops > 0 else 0.0
             return dev.launch_overhead + compute

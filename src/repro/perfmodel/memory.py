@@ -28,30 +28,51 @@ __all__ = ["chase_new_scheme_bytes", "chase_lms_bytes", "fits_on_device"]
 
 
 def chase_new_scheme_bytes(
-    N: int, ne: int, p: int, q: int, dtype=np.float64
+    N: int, ne: int, p: int, q: int, dtype=np.float64, work_dtype=None
 ) -> int:
-    """Eq. (2): peak per-rank bytes of the new parallelization scheme."""
+    """Eq. (2): peak per-rank bytes of the new parallelization scheme.
+
+    ``work_dtype`` (mixed precision, DESIGN.md §5g): a filter working
+    dtype narrower than ``dtype`` adds the narrow working set kept
+    alive alongside the fp64 state — the cached narrow ``H`` block, the
+    demoted input block plus its C-layout ping-pong pair, and the
+    B-layout ping-pong pair.  Word widths come from the dtypes, never
+    from hard-coded 8/16-byte constants.
+    """
     if p <= 0 or q <= 0:
         raise ValueError("grid dimensions must be positive")
     itemsize = np.dtype(dtype).itemsize
     elems = (N * N) / (p * q) + 2 * N * ne / p + 2 * N * ne / q + ne * ne
-    return int(np.ceil(elems * itemsize))
+    total = elems * itemsize
+    if work_dtype is not None and np.dtype(work_dtype) != np.dtype(dtype):
+        wsize = np.dtype(work_dtype).itemsize
+        welems = (N * N) / (p * q) + 3 * N * ne / p + 2 * N * ne / q
+        total += welems * wsize
+    return int(np.ceil(total))
 
 
 def chase_lms_bytes(
-    N: int, ne: int, nodes: int, gpus_per_node: int = 4, dtype=np.float64
+    N: int, ne: int, nodes: int, gpus_per_node: int = 4, dtype=np.float64,
+    work_dtype=None,
 ) -> int:
     """Per-GPU bytes of the v1.2 (LMS) layout.
 
     ``H`` is split across the node's GPUs, but the redundant ``N x ne``
     work buffers (gathered vectors, gathered ``H C``) and the QR
-    workspace are replicated on each device.
+    workspace are replicated on each device.  ``work_dtype`` adds the
+    mixed-precision filter's narrow ``H`` cache and work buffers (the
+    LMS filter runs the same distributed HEMM as the new scheme).
     """
     if nodes <= 0 or gpus_per_node <= 0:
         raise ValueError("node/GPU counts must be positive")
     itemsize = np.dtype(dtype).itemsize
     elems = (N * N) / (nodes * gpus_per_node) + 3 * N * ne + ne * ne
-    return int(np.ceil(elems * itemsize))
+    total = elems * itemsize
+    if work_dtype is not None and np.dtype(work_dtype) != np.dtype(dtype):
+        wsize = np.dtype(work_dtype).itemsize
+        welems = (N * N) / (nodes * gpus_per_node) + 2 * N * ne
+        total += welems * wsize
+    return int(np.ceil(total))
 
 
 def fits_on_device(required_bytes: int, device_bytes: int, headroom: float = 0.8) -> bool:

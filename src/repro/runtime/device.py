@@ -143,7 +143,7 @@ class LocalKernels:
         if ak != bk:
             raise ValueError(f"gemm shape mismatch: op(A)={am}x{ak}, B={bk}x{bn}")
         dtype = np.result_type(A.dtype, B.dtype)
-        self._charge(self.model.time(kind, gemm_flops(am, bn, ak, dtype)))
+        self._charge(self.model.time(kind, gemm_flops(am, bn, ak, dtype), dtype=dtype))
         if not compute:
             return None
         if _any_phantom(A, B):
@@ -157,7 +157,7 @@ class LocalKernels:
     def syrk(self, X, *, compute: bool = True):
         """Gram matrix ``X^H X`` (ZHERK/DSYRK)."""
         m, n = X.shape
-        self._charge(self.model.time("syrk", syrk_flops(n, m, X.dtype)))
+        self._charge(self.model.time("syrk", syrk_flops(n, m, X.dtype), dtype=X.dtype))
         if not compute:
             return None
         if is_phantom(X):
@@ -169,7 +169,7 @@ class LocalKernels:
         m, n = X.shape
         if R is not None and R.shape != (n, n):
             raise ValueError(f"trsm shape mismatch: X={X.shape}, R={R.shape}")
-        self._charge(self.model.time("trsm", trsm_flops(m, n, X.dtype)))
+        self._charge(self.model.time("trsm", trsm_flops(m, n, X.dtype), dtype=X.dtype))
         if not compute:
             return None
         if _any_phantom(X, R):
@@ -182,7 +182,7 @@ class LocalKernels:
         ``info != 0`` signals breakdown (matrix not positive definite),
         mirroring LAPACK xPOTRF semantics."""
         n = G.shape[0]
-        self._charge(self.model.time("potrf", potrf_flops(n, G.dtype)))
+        self._charge(self.model.time("potrf", potrf_flops(n, G.dtype), dtype=G.dtype))
         if not compute:
             return None, 0
         if is_phantom(G):
@@ -205,7 +205,7 @@ class LocalKernels:
         f = geqrf_flops(m, n, X.dtype)
         if np.dtype(X.dtype).kind == "c":
             f /= 1.8
-        self._charge(self.model.time("geqrf", 2.0 * f))  # factor + form Q
+        self._charge(self.model.time("geqrf", 2.0 * f, dtype=X.dtype))  # factor + form Q
         if not compute:
             return None
         if is_phantom(X):
@@ -216,7 +216,7 @@ class LocalKernels:
     def eigh(self, A, *, compute: bool = True):
         """Full Hermitian eigendecomposition (cuSOLVER ZHEEVD/DSYEVD)."""
         n = A.shape[0]
-        self._charge(self.model.time("heevd", heevd_flops(n, A.dtype)))
+        self._charge(self.model.time("heevd", heevd_flops(n, A.dtype), dtype=A.dtype))
         if not compute:
             return None, None
         if is_phantom(A):
@@ -230,6 +230,23 @@ class LocalKernels:
             self.model.time("blas1", 0.0, bytes_touched=nbytes)
             + (n_ops - 1) * self.model.device.launch_overhead
         )
+
+    def cast(self, X, dtype, *, compute: bool = True):
+        """Precision conversion ``X.astype(dtype)`` (bandwidth-bound copy).
+
+        Charged as a streaming kernel reading the source and writing the
+        destination width; used by the mixed-precision filter for
+        demote/promote copies and by the HEMM for its cached fp32
+        H-block casts.
+        """
+        dtype = np.dtype(dtype)
+        nbytes = X.size * (X.itemsize + dtype.itemsize)
+        self._blas1_charge(nbytes)
+        if not compute:
+            return None
+        if is_phantom(X):
+            return PhantomArray(tuple(X.shape), dtype)
+        return X.astype(dtype)
 
     def axpby(self, alpha, X, beta, Y, *, compute: bool = True):
         """``alpha*X + beta*Y`` elementwise (same shapes)."""

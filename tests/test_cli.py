@@ -22,6 +22,17 @@ class TestParser:
         args = build_parser().parse_args(["solve", "--problem", "NaCl-9k"])
         assert args.problem == "NaCl-9k"
 
+    def test_precision_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "--filter-dtype", "fp32", "--comm-compress", "bf16"]
+        )
+        assert args.filter_dtype == "fp32" and args.comm_compress == "bf16"
+        # default None: the flags never clobber a tuned winner's scopes
+        args = build_parser().parse_args(["solve"])
+        assert args.filter_dtype is None and args.comm_compress is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--filter-dtype", "fp16"])
+
 
 class TestCommands:
     def test_solve_serial(self, capsys):
@@ -58,6 +69,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "ELPA2-GPU" in out
+
+    def test_solve_mixed_precision(self, capsys):
+        rc = main(
+            ["solve", "--n", "200", "--nev", "8", "--distributed",
+             "--ranks", "8", "--backend", "nccl", "--seed", "1",
+             "--filter-dtype", "fp32", "--comm-compress", "fp32",
+             "--pipeline-filter"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged: True" in out
+
+    def test_tune_precision_smoke(self, capsys):
+        rc = main(
+            ["tune", "--ranks", "4", "--n", "200", "--nev", "16",
+             "--precision", "--smoke"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tune smoke" in out and "OK" in out
 
     def test_suite_small(self, capsys):
         rc = main(["suite", "--scale", "200"])
