@@ -40,13 +40,30 @@ from repro.distributed import (
 )
 from repro.matrices import TABLE1, build_problem, uniform_matrix
 from repro.reporting import render_series, render_table
-from repro.runtime import CommBackend, Grid2D, VirtualCluster
+from repro.runtime import TRANSPORTS, CommBackend, Grid2D, VirtualCluster
 
 _BACKENDS = {
     "nccl": CommBackend.NCCL,
     "mpi": CommBackend.MPI_STAGED,
     "mpi-host": CommBackend.MPI_HOST,
 }
+
+#: every ``--backend`` token: communication models plus execution
+#: transports (DESIGN.md §5h)
+_BACKEND_CHOICES = tuple(sorted(_BACKENDS)) + TRANSPORTS
+
+
+def _split_backend(token: str):
+    """``(comm model, execution transport)`` for a ``--backend`` token.
+
+    A communication-model name (``nccl``/``mpi``/``mpi-host``) picks the
+    cost model and leaves the transport to ``REPRO_BACKEND`` (default
+    orchestrated); a transport token (``orchestrated``/``threads``/
+    ``mp``) picks the execution backend and models NCCL communication.
+    """
+    if token in TRANSPORTS:
+        return CommBackend.NCCL, token
+    return _BACKENDS[token], None
 
 
 def _precision_stack(args):
@@ -113,18 +130,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     solver_kw = dict(faults=fault_plan, checkpoint_every=args.checkpoint)
 
     if args.distributed:
+        comm_backend, transport = _split_backend(args.backend)
         if args.tuned:
             from repro.perfmodel.autotune import applied, autotune
 
             report = autotune(
                 args.ranks, H.shape[0], nev, nex,
-                backend=_BACKENDS[args.backend],
+                backend=comm_backend,
             )
             best = report.best.config
             print(f"tuned config: {best.label()} "
                   f"(modeled x{report.speedup:.3f} vs default)")
             with applied(best, n_ranks=args.ranks,
-                         backend=_BACKENDS[args.backend]) as grid, \
+                         backend=comm_backend, transport=transport) as grid, \
                     _precision_stack(args):
                 if args.overlap is not None:
                     grid.set_overlap_efficiency(args.overlap)
@@ -140,14 +158,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             )
         else:
             cluster = VirtualCluster(
-                args.ranks, backend=_BACKENDS[args.backend],
+                args.ranks, backend=comm_backend, transport=transport,
                 topology=args.topology, collective_algo=args.coll_algo,
             )
             grid = Grid2D(cluster)
             if args.overlap is not None:
                 grid.set_overlap_efficiency(args.overlap)
             Hd = DistributedHermitian.from_dense(grid, H)
-            with filter_pipeline(args.pipeline_filter, args.pipeline_chunks), \
+            with cluster, \
+                    filter_pipeline(args.pipeline_filter,
+                                    args.pipeline_chunks), \
                     _precision_stack(args):
                 chunks = filter_pipeline_chunks()
                 solver = ChaseSolver(grid, Hd, cfg, **solver_kw)
@@ -289,7 +309,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         )
     report = autotune(
         args.ranks, args.n, args.nev, nex,
-        backend=_BACKENDS[args.backend],
+        backend=_split_backend(args.backend)[0],
         iterations=args.iterations,
         candidates=candidates,
     )
@@ -408,7 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--distributed", action="store_true",
                    help="run on the simulated cluster")
     s.add_argument("--ranks", type=int, default=4)
-    s.add_argument("--backend", choices=sorted(_BACKENDS), default="nccl")
+    s.add_argument("--backend", choices=_BACKEND_CHOICES, default="nccl",
+                   help="communication model (nccl/mpi/mpi-host) or "
+                        "execution transport (orchestrated/threads/mp; "
+                        "models NCCL and runs the data plane on real "
+                        "threads or processes — DESIGN.md §5h).  The "
+                        "REPRO_BACKEND env var picks the transport when "
+                        "a model name is given here")
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--pipeline-filter", action="store_true",
                    help="chunked nonblocking Chebyshev filter (DESIGN.md §5d)")
@@ -474,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--n", type=int, default=800, help="matrix size")
     s.add_argument("--nev", type=int, default=96)
     s.add_argument("--nex", type=int, default=32)
-    s.add_argument("--backend", choices=sorted(_BACKENDS), default="nccl")
+    s.add_argument("--backend", choices=_BACKEND_CHOICES, default="nccl")
     s.add_argument("--iterations", type=int, default=2,
                    help="subspace iterations in the modeled dry run")
     s.add_argument("--top", type=int, default=12,

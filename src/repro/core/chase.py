@@ -59,8 +59,10 @@ from repro.runtime.faults import (
     RankDeathError,
     RecoveryExhaustedError,
 )
+from repro.runtime import executor
 from repro.runtime.grid import Grid2D
 from repro.runtime.tracer import PhaseBreakdown
+from repro.runtime.transport import assert_transport_parity
 
 __all__ = ["ChaseSolver", "ChaseResult"]
 
@@ -696,7 +698,28 @@ class ChaseSolver:
         every retry, checkpoint and re-layout is charged as RECOVERY.
         With no plan armed, the control flow, modeled charges and
         numerics are bit-identical to a build without fault support.
+
+        The solve runs on the cluster's execution backend (DESIGN.md
+        §5h): the transport's kernel plane (mp backend) is installed
+        for the solve's duration, and on completion the backend's wire
+        account is asserted against the modeled CommStats — the
+        oracle-parity invariant.
         """
+        transport = self.grid.cluster.transport
+        with executor.kernel_plane_scope(transport.kernel_plane):
+            result = self._solve_numeric(V0, rng, return_vectors)
+        # every group must have moved exactly the modeled traffic;
+        # checked on the final grid (post-recovery re-layouts replace
+        # the communicators along with their groups)
+        assert_transport_parity(self.grid)
+        return result
+
+    def _solve_numeric(
+        self,
+        V0: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        return_vectors: bool = False,
+    ) -> ChaseResult:
         rng = rng if rng is not None else np.random.default_rng()
         cfg = self.cfg
         ne, nev = cfg.ne, cfg.nev

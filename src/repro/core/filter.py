@@ -82,13 +82,15 @@ def mv_axpby(
                     alpha, X.blocks[(i, j)], beta, Y.blocks[(i, j)], compute=False
                 )
         roots = X.unique_keys()
+        # KernelCall descriptors (not closures) so the recurrence's axpbys
+        # can ship to the mp backend's kernel plane (DESIGN.md §5h);
+        # elementwise math is bit-identical for any operand layout, and
+        # with out=None the batch stays on the in-process paths
         results = executor.run_kernels(
             [
-                lambda key=key: axpby_numeric(
-                    alpha,
-                    X.blocks[key],
-                    beta,
-                    Y.blocks[key],
+                executor.KernelCall(
+                    axpby_numeric,
+                    (alpha, X.blocks[key], beta, Y.blocks[key]),
                     out=out.blocks[key] if out is not None else None,
                 )
                 for key in roots

@@ -109,6 +109,57 @@ def _chunk_view(buf, sl: slice):
     return buf[:, sl]
 
 
+# -- module-level numeric kernels (DESIGN.md §5h) -----------------------------------
+# The executor tiers dispatch these as picklable KernelCall descriptors
+# so the mp backend can run them in worker processes.  Operands are
+# passed in their *stored* layout (full blocks plus slice objects,
+# transposition applied inside) — a pickled view would arrive
+# contiguous, and a different memory layout could perturb the BLAS
+# result in the last ulp, breaking cross-backend bit-identity.
+
+def panel_cb_numeric(P, Xfull, cols, pairs_i, gamma, alpha, offs, *, out):
+    """C->B fused row panel: ``out = alpha (P^T X - gamma overlaps)``."""
+    Xb = Xfull[:, cols]
+    np.matmul(P.T, Xb, out=out)
+    if pairs_i is not None:
+        for j, prs in pairs_i:
+            for rsl, csl in prs:
+                wsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
+                axpy_into_numeric(out, wsl, Xb, rsl, -gamma)
+    if alpha != 1.0:
+        out *= alpha
+    return out
+
+
+def panel_bc_numeric(P, Bstack, pairs_i, gamma, alpha, offs, *, out):
+    """B->C fused contraction: k-dimension folds the q-term reduction."""
+    np.matmul(P, Bstack, out=out)
+    if pairs_i is not None:
+        for j, prs in pairs_i:
+            for rsl, csl in prs:
+                xsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
+                axpy_into_numeric(out, rsl, Bstack, xsl, -gamma)
+    if alpha != 1.0:
+        out *= alpha
+    return out
+
+
+def block_numeric(Hop, trans, Xfull, cols, pairs, gamma, alpha, to_b, *, out):
+    """Seed-granularity partial product of one grid block."""
+    Aop = Hop.T if trans else Hop
+    Xb = Xfull[:, cols]
+    np.matmul(Aop, Xb, out=out)
+    if pairs is not None:
+        for rsl, csl in pairs:
+            if to_b:
+                axpy_into_numeric(out, csl, Xb, rsl, -gamma)
+            else:
+                axpy_into_numeric(out, rsl, Xb, csl, -gamma)
+    if alpha != 1.0:
+        out *= alpha
+    return out
+
+
 class DistributedHemm:
     """Distributed application of ``alpha (H - gamma I)`` to a multivector."""
 
@@ -489,11 +540,10 @@ class DistributedHemm:
                 and out.stacked_base.shape == (offs[-1], width) \
                 and out.stacked_base.dtype == rdtype:
             base = out.stacked_base
-        closures = []
+        calls = []
         panels = []
         for i in range(p):
             P = self._row_panel_conj(i, rdtype)
-            Xb = X.local(i, 0)[:, cols]
             if i == 0:
                 tgt = base if base is not None \
                     else np.empty((offs[-1], width), rdtype)
@@ -503,21 +553,13 @@ class DistributedHemm:
                 [(j, self._pairs(i, j)) for j in range(q)]
                 if gamma != 0.0 else None
             )
-
-            def run(P=P, Xb=Xb, tgt=tgt, pairs_i=pairs_i):
-                np.matmul(P.T, Xb, out=tgt)
-                if pairs_i is not None:
-                    for j, prs in pairs_i:
-                        for rsl, csl in prs:
-                            wsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
-                            axpy_into_numeric(tgt, wsl, Xb, rsl, -gamma)
-                if alpha != 1.0:
-                    tgt *= alpha
-                return tgt
-
-            closures.append(run)
+            calls.append(executor.KernelCall(
+                panel_cb_numeric,
+                (P, X.local(i, 0), cols, pairs_i, gamma, alpha, offs),
+                out=tgt, cacheable=(0,),
+            ))
             panels.append(tgt)
-        executor.run_kernels(closures)
+        executor.run_kernels(calls)
         return panels, base
 
     def _fused_cb_blocks(self, roots, base, out):
@@ -541,7 +583,7 @@ class DistributedHemm:
         Bstack = self._scratch_arr(("bstack",), (offs[-1], width), rdtype)
         for j in range(q):
             Bstack[offs[j]:offs[j + 1], :] = X.local(0, j)[:, cols]
-        closures = []
+        calls = []
         tgts = []
         for i in range(p):
             P = self._row_panel(i, rdtype)
@@ -553,21 +595,13 @@ class DistributedHemm:
                 [(j, self._pairs(i, j)) for j in range(q)]
                 if gamma != 0.0 else None
             )
-
-            def run(P=P, tgt=tgt, pairs_i=pairs_i):
-                np.matmul(P, Bstack, out=tgt)
-                if pairs_i is not None:
-                    for j, prs in pairs_i:
-                        for rsl, csl in prs:
-                            xsl = slice(offs[j] + csl.start, offs[j] + csl.stop)
-                            axpy_into_numeric(tgt, rsl, Bstack, xsl, -gamma)
-                if alpha != 1.0:
-                    tgt *= alpha
-                return tgt
-
-            closures.append(run)
+            calls.append(executor.KernelCall(
+                panel_bc_numeric,
+                (P, Bstack, pairs_i, gamma, alpha, offs),
+                out=tgt, cacheable=(0,),
+            ))
             tgts.append(tgt)
-        executor.run_kernels(closures)
+        executor.run_kernels(calls)
         return tgts
 
     def _block_partials(self, X, cols, width, to_b, alpha, gamma, out, rdtype,
@@ -584,26 +618,32 @@ class DistributedHemm:
         grid, H = self.grid, self.H
         p, q = grid.p, grid.q
         complex_h = np.dtype(H.dtype).kind == "c"
-        closures = []
+        calls = []
         partials = {}
         for i in range(p):
             for j in range(q):
                 Hij = self._local_work(i, j, rdtype)
-                Xb = X.local(i, j)[:, cols]
+                stable_h = True  # cached operand, content-stable per H.version
                 if to_b:
                     if complex_h:
                         # cached conj for complex (exact seed operand
                         # layout); falls back to the per-call conj
                         # temporary when the dedup switch is off
                         Hc = self._h_conj(i, j, rdtype)
-                        Aop = Hc.T if Hc is not None else Hij.conj().T
+                        if Hc is not None:
+                            Hop = Hc
+                        else:
+                            Hop = Hij.conj()
+                            stable_h = False  # per-call temporary
                     else:
-                        Aop = Hij.T  # .T is a free view for real blocks
+                        Hop = Hij  # .T inside the kernel, free for real blocks
+                    trans = True
                     rows = Hij.shape[1]
                     is_root = i == 0
                     root = (0, j)
                 else:
-                    Aop = Hij
+                    Hop = Hij
+                    trans = False
                     rows = Hij.shape[0]
                     is_root = j == 0
                     root = (i, 0)
@@ -614,22 +654,14 @@ class DistributedHemm:
                 else:
                     tgt = self._scratch_arr(("pb", i, j), (rows, width), rdtype)
                 pairs = self._pairs(i, j) if gamma != 0.0 else None
-
-                def run(Aop=Aop, Xb=Xb, tgt=tgt, pairs=pairs, to_b=to_b):
-                    np.matmul(Aop, Xb, out=tgt)
-                    if pairs is not None:
-                        for rsl, csl in pairs:
-                            if to_b:
-                                axpy_into_numeric(tgt, csl, Xb, rsl, -gamma)
-                            else:
-                                axpy_into_numeric(tgt, rsl, Xb, csl, -gamma)
-                    if alpha != 1.0:
-                        tgt *= alpha
-                    return tgt
-
-                closures.append(run)
+                calls.append(executor.KernelCall(
+                    block_numeric,
+                    (Hop, trans, X.local(i, j), cols, pairs, gamma, alpha,
+                     to_b),
+                    out=tgt, cacheable=(0,) if stable_h else (),
+                ))
                 partials[(i, j)] = tgt
-        executor.run_kernels(closures)
+        executor.run_kernels(calls)
         return partials
 
     def _numeric_per_block(self, X, cols, width, to_b, alpha, gamma, out, rdtype,

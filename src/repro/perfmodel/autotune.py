@@ -190,7 +190,8 @@ def _resolve_nodes(n_ranks: int, machine: MachineSpec,
 
 
 def _build_cluster(cfg: TuneConfig, *, n_ranks, backend, machine,
-                   ranks_per_node, nodes_per_leaf, use_topology, phantom):
+                   ranks_per_node, nodes_per_leaf, use_topology, phantom,
+                   transport=None):
     from repro.runtime import Grid2D, VirtualCluster
 
     machine = machine if machine is not None else juwels_booster()
@@ -200,6 +201,7 @@ def _build_cluster(cfg: TuneConfig, *, n_ranks, backend, machine,
     cluster = VirtualCluster(
         n_ranks, machine=machine, backend=backend, ranks_per_node=rpn,
         phantom=phantom, topology=tree, collective_algo=cfg.algo,
+        transport=transport,
     )
     grid = Grid2D(cluster, cfg.p, cfg.q)
     if cfg.overlap is not None:
@@ -213,12 +215,16 @@ def applied(cfg: TuneConfig, *, n_ranks: int, backend,
             ranks_per_node: int | None = None,
             nodes_per_leaf: int = 8,
             use_topology: bool = True,
-            phantom: bool = False):
+            phantom: bool = False,
+            transport=None):
     """A cluster/grid configured per ``cfg``, with the global execution
     toggles (filter pipeline, HEMM fusion) scoped to the ``with`` body.
 
     Yields the :class:`~repro.runtime.grid.Grid2D`; ``repro solve
     --tuned`` and the wallclock benchmark solve inside this scope.
+    ``transport`` selects the execution backend for the data plane
+    (DESIGN.md §5h); its resources (rank threads/processes, shm) are
+    released when the scope exits.
     """
     from repro.distributed import filter_pipeline
     from repro.distributed.replication import (
@@ -230,14 +236,17 @@ def applied(cfg: TuneConfig, *, n_ranks: int, backend,
     grid = _build_cluster(
         cfg, n_ranks=n_ranks, backend=backend, machine=machine,
         ranks_per_node=ranks_per_node, nodes_per_leaf=nodes_per_leaf,
-        use_topology=use_topology, phantom=phantom,
+        use_topology=use_topology, phantom=phantom, transport=transport,
     )
-    with filter_pipeline(cfg.pipeline_chunks > 0,
-                         cfg.pipeline_chunks or None), \
-            hemm_fusion(cfg.hemm_fusion), \
-            filter_dtype_scope(cfg.filter_dtype), \
-            comm_compress_scope(cfg.comm_compress):
-        yield grid
+    try:
+        with filter_pipeline(cfg.pipeline_chunks > 0,
+                             cfg.pipeline_chunks or None), \
+                hemm_fusion(cfg.hemm_fusion), \
+                filter_dtype_scope(cfg.filter_dtype), \
+                comm_compress_scope(cfg.comm_compress):
+            yield grid
+    finally:
+        grid.cluster.close()
 
 
 def _dry_run(cfg: TuneConfig, *, n_ranks, N, nev, nex, backend, machine,
@@ -248,9 +257,12 @@ def _dry_run(cfg: TuneConfig, *, n_ranks, N, nev, nex, backend, machine,
     from repro.core.lanczos import SpectralBounds
     from repro.distributed import DistributedHermitian
 
+    # dry runs are model-only: pin the orchestrated transport so a
+    # REPRO_BACKEND=mp environment never spawns workers for phantoms
     with applied(cfg, n_ranks=n_ranks, backend=backend, machine=machine,
                  ranks_per_node=ranks_per_node, nodes_per_leaf=nodes_per_leaf,
-                 use_topology=use_topology, phantom=True) as grid:
+                 use_topology=use_topology, phantom=True,
+                 transport="orchestrated") as grid:
         Hd = DistributedHermitian.phantom(grid, N, np.dtype(dtype))
         solver = ChaseSolver(grid, Hd, ChaseConfig(nev=nev, nex=nex, deg=deg))
         res = solver.solve_phantom(

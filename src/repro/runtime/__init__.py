@@ -23,11 +23,25 @@ from repro.runtime.rank import RankContext
 from repro.runtime.cluster import VirtualCluster
 from repro.runtime.communicator import CollectiveRequest, Communicator
 from repro.runtime.executor import (
+    KernelCall,
+    kernel_plane_scope,
     kernel_worker_scope,
     kernel_workers,
     run_kernels,
     set_kernel_fault_hook,
     set_kernel_workers,
+)
+from repro.runtime.transport import (
+    TRANSPORTS,
+    Transport,
+    TransportDeadRankError,
+    TransportError,
+    TransportParityError,
+    TransportTimeoutError,
+    assert_transport_parity,
+    create_transport,
+    parse_transport,
+    transport_parity_report,
 )
 from repro.runtime.faults import (
     CollectiveError,
@@ -62,6 +76,18 @@ __all__ = [
     "kernel_worker_scope",
     "set_kernel_fault_hook",
     "run_kernels",
+    "KernelCall",
+    "kernel_plane_scope",
+    "TRANSPORTS",
+    "Transport",
+    "TransportError",
+    "TransportDeadRankError",
+    "TransportTimeoutError",
+    "TransportParityError",
+    "create_transport",
+    "parse_transport",
+    "assert_transport_parity",
+    "transport_parity_report",
     "Timeline",
     "TimelineEvent",
     "FaultKind",

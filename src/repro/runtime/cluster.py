@@ -12,6 +12,7 @@ from repro.runtime.backend import CommBackend
 from repro.runtime.faults import FaultInjector, FaultPlan, RecoveryExhaustedError
 from repro.runtime.rank import RankContext
 from repro.runtime.tracer import Tracer
+from repro.runtime.transport import TRANSPORTS, Transport, create_transport
 
 __all__ = ["VirtualCluster"]
 
@@ -61,22 +62,45 @@ class VirtualCluster:
         ``None`` reads the ``REPRO_COLL_ALGO`` environment variable and
         falls back to ``ring`` — the seed behavior, bit-identical
         charges.
+    transport:
+        Execution backend for the data plane (DESIGN.md §5h):
+        ``"orchestrated"`` (in-process, the seed), ``"threads"`` (one OS
+        thread per rank) or ``"mp"`` (one spawned process per rank over
+        shared memory), or an already-constructed
+        :class:`~repro.runtime.transport.Transport` instance.  ``None``
+        reads ``REPRO_BACKEND`` and falls back to ``orchestrated``.
+        ``backend`` also accepts these tokens as strings (the
+        ``solve --backend mp`` surface): a transport token selects the
+        transport and keeps the NCCL communication model.
     """
 
     def __init__(
         self,
         n_ranks: int,
         machine: MachineSpec | None = None,
-        backend: CommBackend = CommBackend.NCCL,
+        backend: CommBackend | str = CommBackend.NCCL,
         ranks_per_node: int | None = None,
         gpus_per_rank: int = 1,
         phantom: bool = False,
         placement: str = "block",
         topology: FatTree | str | None = None,
         collective_algo: CollectiveAlgo | str | None = None,
+        transport: Transport | str | None = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
+        if isinstance(backend, str):
+            token = backend.strip().lower()
+            if token in TRANSPORTS:
+                if transport is not None and getattr(
+                        transport, "name", transport) != token:
+                    raise ValueError(
+                        f"backend={token!r} conflicts with "
+                        f"transport={transport!r}")
+                transport = token
+                backend = CommBackend.NCCL
+            else:
+                backend = CommBackend(token)
         if placement not in ("block", "round_robin"):
             raise ValueError(f"unknown placement {placement!r}")
         self.machine = machine if machine is not None else juwels_booster()
@@ -101,6 +125,11 @@ class VirtualCluster:
             _algo_from_env() if collective_algo is None
             else CollectiveAlgo.parse(collective_algo)
         )
+        #: execution backend for the data plane (DESIGN.md §5h)
+        if isinstance(transport, Transport):
+            self.transport = transport
+        else:
+            self.transport = create_transport(transport, n_ranks)
         #: shared fault injector (DESIGN.md §5f); None = injection off
         self.faults: FaultInjector | None = None
         #: set by :meth:`shrink` — survivor clusters pin their node count
@@ -197,10 +226,27 @@ class VirtualCluster:
         new.tracer = self.tracer
         new.topology = self.topology
         new.collective_algo = self.collective_algo
+        # survivors keep their original lane indices (rank_id), so the
+        # shared transport's rank team carries over unchanged
+        new.transport = self.transport
         new.faults = self.faults
         new.ranks = survivors
         new._fixed_n_nodes = len({r.node for r in survivors})
         return new
+
+    def close(self) -> None:
+        """Release the execution backend's resources (idempotent).
+
+        The orchestrated default holds none; the threads/mp backends
+        retire their rank teams and unlink every shm segment.
+        """
+        self.transport.close()
+
+    def __enter__(self) -> "VirtualCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def makespan(self) -> float:
         """Current parallel time: the furthest-ahead rank clock."""

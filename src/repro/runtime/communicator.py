@@ -48,6 +48,7 @@ from repro.perfmodel.collectives import (
 from repro.perfmodel.topology import FatTree
 from repro.runtime.faults import CollectiveError, RankDeathError
 from repro.runtime.rank import RankContext
+from repro.runtime.transport import TransportGroup
 
 __all__ = ["Communicator", "CommStats", "CollectiveRequest"]
 
@@ -289,11 +290,19 @@ class Communicator:
     behavior, bit-identical charges).  Both affect modeled time and the
     per-level CommStats counters only — data movement and numerics are
     identical under every selection.
+
+    ``transport_group`` (DESIGN.md §5h) is the data plane that performs
+    the numeric movement of each collective and keeps the independent
+    wire-stats account; ``None`` builds a standalone orchestrated group
+    — the seed in-process movement, bit for bit.  The control plane
+    (modeled charges, staging, barrier-entry clock sync, CommStats)
+    always stays here, whatever the transport.
     """
 
     def __init__(self, ranks: list[RankContext], *,
                  tree: FatTree | None = None,
-                 algo: CollectiveAlgo | str | None = None):
+                 algo: CollectiveAlgo | str | None = None,
+                 transport_group: TransportGroup | None = None):
         if not ranks:
             raise ValueError("communicator needs at least one rank")
         self.ranks = list(ranks)
@@ -309,6 +318,14 @@ class Communicator:
         # spans-nodes flag are computed once here, not per collective
         self.topology = CommTopology((r.node for r in ranks), tree)
         self.algo = CollectiveAlgo.parse(algo)
+        if transport_group is None:
+            transport_group = TransportGroup(None, range(len(ranks)))
+        elif len(transport_group.member_ids) != len(ranks):
+            raise ValueError(
+                f"transport group covers {len(transport_group.member_ids)} "
+                f"ranks, communicator has {len(ranks)}")
+        self.transport_group = transport_group
+        transport_group.bind(self)
 
     # -- topology -----------------------------------------------------------------
     @property
@@ -502,47 +519,22 @@ class Communicator:
     # -- data movement (shared by blocking and nonblocking paths) -----------------------
     def _allreduce_move(self, buffers, scalar: bool, shared: bool,
                         compute: bool):
-        """The numeric part of a SUM-allreduce.
+        """The numeric part of a SUM-allreduce, delegated to the transport.
 
         One implementation for both the blocking call and
-        :meth:`CollectiveRequest.wait` — same accumulation order, so
-        pipelined execution is bit-identical to blocking.
+        :meth:`CollectiveRequest.wait` — every transport reduces the
+        rank-ordered contributions with the same accumulation order, so
+        pipelined, threaded and multiprocess execution are bit-identical
+        to blocking orchestrated.
         """
-        if not compute:
-            return list(buffers)
-        if scalar:
-            total = sum(buffers)
-            return [total] * self.size
-        if is_phantom(buffers[0]):
-            return list(buffers)
-        if shared:
-            total = buffers[0]
-            for b in buffers[1:]:
-                total += b
-            return [total] * self.size
-        total = buffers[0].copy()
-        for b in buffers[1:]:
-            total += b
-        for b in buffers:
-            b[...] = total
-        return list(buffers)
+        return self.transport_group.allreduce_move(
+            buffers, scalar, shared, compute)
 
     def _bcast_move(self, buffers, scalar: bool, root: int, shared: bool,
                     compute: bool):
         """The numeric part of a broadcast (shared with ``ibcast``)."""
-        if not compute:
-            return list(buffers)
-        if scalar:
-            return [buffers[root]] * self.size
-        if is_phantom(buffers[0]):
-            return list(buffers)
-        if shared:
-            return [buffers[root]] * self.size
-        src = buffers[root]
-        for i, b in enumerate(buffers):
-            if i != root:
-                b[...] = src
-        return list(buffers)
+        return self.transport_group.bcast_move(
+            buffers, scalar, root, shared, compute)
 
     # -- collectives --------------------------------------------------------------------
     def allreduce(self, buffers, op: str = "sum", *, shared: bool = False,
@@ -588,6 +580,7 @@ class Communicator:
         charge = self._charge_for("allreduce", nbytes_eff)
         self.stats.record(nbytes_eff, self.size,
                           2 * math.ceil(math.log2(self.size)), charge)
+        self.transport_group.record_wire("allreduce", buffers, payload)
         self._stage(nbytes_eff, "d2h")
         self._barrier_entry()
         self._charge_comm_all(charge.time * fmult)
@@ -617,6 +610,7 @@ class Communicator:
         charge = self._charge_for("bcast", nbytes)
         self.stats.record(nbytes, self.size,
                           math.ceil(math.log2(self.size)), charge)
+        self.transport_group.record_wire("bcast", buffers)
         self._stage(nbytes, "d2h")
         self._barrier_entry()
         self._charge_comm_all(charge.time * fmult)
@@ -668,6 +662,7 @@ class Communicator:
         charge = self._charge_for("allreduce", nbytes_eff)
         self.stats.record(nbytes_eff, self.size,
                           2 * math.ceil(math.log2(self.size)), charge)
+        self.transport_group.record_wire("allreduce", buffers, payload)
         self._stage(nbytes_eff, "d2h", seconds=stage_seconds)
         t_entry = max(r.clock.now for r in self.ranks)
         d = (charge.time if duration is None else float(duration)) * fmult
@@ -693,6 +688,7 @@ class Communicator:
         charge = self._charge_for("bcast", nbytes)
         self.stats.record(nbytes, self.size,
                           math.ceil(math.log2(self.size)), charge)
+        self.transport_group.record_wire("bcast", buffers)
         self._stage(nbytes, "d2h", seconds=stage_seconds)
         t_entry = max(r.clock.now for r in self.ranks)
         d = (charge.time if duration is None else float(duration)) * fmult
@@ -715,11 +711,12 @@ class Communicator:
         fmult = self._fault_entry("allgather")
         charge = self._charge_for("allgather", nbytes)
         self.stats.record(nbytes, self.size, max(self.size - 1, 0), charge)
+        self.transport_group.record_wire("allgather", buffers, nbytes=nbytes)
         self._stage(nbytes * self.size, "d2h")
         self._barrier_entry()
         self._charge_comm_all(charge.time * fmult)
         self._stage(nbytes * self.size, "h2d")
-        return [list(buffers) for _ in range(self.size)]
+        return self.transport_group.allgather_move(buffers)
 
     def allgather_by_bcasts(self, buffers):
         """v1.2-style collection: one broadcast *per participating rank*.
@@ -739,16 +736,26 @@ class Communicator:
             charge = self._charge_for("bcast", nbytes)
             self.stats.record(nbytes, self.size,
                               math.ceil(math.log2(max(self.size, 2))), charge)
+            self.transport_group.record_wire(
+                "bcast", buffers, nbytes=nbytes,
+                messages=math.ceil(math.log2(max(self.size, 2))))
             self._stage(nbytes, "d2h")
             self._barrier_entry()
             self._charge_comm_all(charge.time * fmult)
             self._stage(nbytes, "h2d")
-        return [list(buffers) for _ in range(self.size)]
+        return self.transport_group.allgather_move(buffers)
 
     def barrier(self) -> None:
-        """Synchronize all participants' clocks (no payload)."""
+        """Synchronize all participants' clocks (no payload).
+
+        Real backends also run a data-plane barrier round here — a
+        liveness probe that turns a hung peer into a typed
+        :class:`~repro.runtime.transport.TransportError` instead of a
+        deadlock.
+        """
         if self.size > 1:
             self._fault_entry("barrier")
+            self.transport_group.barrier_sync()
         self._barrier_entry()
 
     def charge_collective(self, dt: float) -> None:

@@ -37,14 +37,49 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 __all__ = [
+    "KernelCall",
     "kernel_workers",
     "set_kernel_workers",
     "kernel_worker_scope",
+    "kernel_plane",
+    "set_kernel_plane",
+    "kernel_plane_scope",
     "kernel_fault_hook",
     "set_kernel_fault_hook",
     "run_kernels",
     "blas_thread_guard",
 ]
+
+
+class KernelCall:
+    """A picklable kernel invocation: ``fn(*args, out=out)``.
+
+    The portable form of the executor's closures (DESIGN.md §5h):
+    ``fn`` must be a module-level function and ``args`` picklable, so
+    the call can ship to the mp backend's worker processes; ``out`` is
+    the main-process destination the result lands in (workers compute
+    into their own storage and the plane copies back, preserving every
+    aliasing relationship of the in-process execution).  Calling the
+    descriptor runs it locally — serial and thread-pool execution treat
+    it exactly like the closure it replaces.
+
+    ``cacheable`` lists positions of args whose *content* is immutable
+    for the transport session (the solver's H panels): the kernel plane
+    ships those once per worker and references them by token afterwards.
+    """
+
+    __slots__ = ("fn", "args", "out", "cacheable")
+
+    def __init__(self, fn, args, out=None, cacheable: tuple = ()):
+        self.fn = fn
+        self.args = tuple(args)
+        self.out = out
+        self.cacheable = tuple(cacheable)
+
+    def __call__(self):
+        if self.out is not None:
+            return self.fn(*self.args, out=self.out)
+        return self.fn(*self.args)
 
 
 def _workers_from_env() -> int:
@@ -81,6 +116,40 @@ def kernel_worker_scope(n: int):
         yield
     finally:
         set_kernel_workers(prev)
+
+
+# -- kernel plane (DESIGN.md §5h) --------------------------------------------------
+_KERNEL_PLANE = None
+
+
+def kernel_plane():
+    """The installed kernel-offload plane (None = in-process execution)."""
+    return _KERNEL_PLANE
+
+
+def set_kernel_plane(plane):
+    """Install a kernel plane; returns the previous one.
+
+    A plane is an object with ``run_calls(calls, workers=...)`` — the mp
+    backend's :class:`~repro.runtime.mp_backend.MpKernelPlane`.  Batches
+    route to it only when the worker count is above one *and* every item
+    is a :class:`KernelCall`; the default worker count of 1 keeps every
+    kernel in process, the exact seed execution.
+    """
+    global _KERNEL_PLANE
+    prev = _KERNEL_PLANE
+    _KERNEL_PLANE = plane
+    return prev
+
+
+@contextlib.contextmanager
+def kernel_plane_scope(plane):
+    """Context manager scoping the kernel plane (``None`` = no-op scope)."""
+    prev = set_kernel_plane(plane)
+    try:
+        yield
+    finally:
+        set_kernel_plane(prev)
 
 
 # -- fault hook (DESIGN.md §5f) ----------------------------------------------------
@@ -204,6 +273,10 @@ def run_kernels(closures: Iterable[Callable[[], object]]) -> list:
     fns: Sequence[Callable[[], object]] = list(closures)
     if _FAULT_HOOK is not None:
         _FAULT_HOOK()
+    if (_KERNEL_PLANE is not None and _WORKERS > 1 and len(fns) > 1
+            and all(isinstance(fn, KernelCall) and fn.out is not None
+                    for fn in fns)):
+        return _KERNEL_PLANE.run_calls(fns, workers=_WORKERS)
     if _WORKERS <= 1 or len(fns) <= 1:
         return [fn() for fn in fns]
     with blas_thread_guard():

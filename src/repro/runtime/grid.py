@@ -53,17 +53,24 @@ class Grid2D:
         for i in range(self.p):
             for j in range(self.q):
                 cluster.ranks[i * self.q + j].coords = (i, j)
-        # communicators inherit the cluster's interconnect description and
-        # collective-algorithm default (DESIGN.md §5e)
+        # communicators inherit the cluster's interconnect description,
+        # collective-algorithm default (DESIGN.md §5e) and a data-plane
+        # group on the cluster's transport (DESIGN.md §5h); group members
+        # are identified by rank_id — the transport lane index, stable
+        # across shrink-recovery re-layouts
         tree, algo = cluster.topology, cluster.collective_algo
+
+        def comm(ranks):
+            group = cluster.transport.group([r.rank_id for r in ranks])
+            return Communicator(ranks, tree=tree, algo=algo,
+                                transport_group=group)
+
         self._row_comms = [
-            Communicator([self.rank_at(i, j) for j in range(self.q)],
-                         tree=tree, algo=algo)
+            comm([self.rank_at(i, j) for j in range(self.q)])
             for i in range(self.p)
         ]
         self._col_comms = [
-            Communicator([self.rank_at(i, j) for i in range(self.p)],
-                         tree=tree, algo=algo)
+            comm([self.rank_at(i, j) for i in range(self.p)])
             for j in range(self.q)
         ]
 

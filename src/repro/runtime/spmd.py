@@ -8,19 +8,34 @@ implemented with real synchronization primitives (``threading.Barrier``)
 and shared-memory exchange.  NumPy releases the GIL inside BLAS, so
 rank-local kernels actually execute concurrently.
 
-Two uses:
+Three uses:
 
 * validating the orchestrated semantics: the SPMD collectives must
   produce identical results (tests cross-check a full SPMD CholeskyQR
   against the orchestrated one);
 * writing genuinely parallel mini-programs against the same collective
-  vocabulary (``examples``-style experimentation).
+  vocabulary — blocking *and* nonblocking: :meth:`SpmdContext.iallreduce`
+  / :meth:`SpmdContext.ibcast` / :meth:`SpmdContext.iallgather` return
+  :class:`SpmdRequest` handles with MPI ``wait``/``test`` semantics;
+* backing the ``threads`` execution backend (:class:`ThreadTransport`,
+  DESIGN.md §5h): the same rank-thread + barrier machinery, packaged as
+  a conforming :class:`~repro.runtime.transport.Transport` so the
+  orchestrated solver's data plane runs on a real thread team.
+
+**Determinism.**  Every reduction accumulates the rank-ordered
+contributions in place (``total = copy(slot0); total += slot1; ...``) —
+the exact accumulation order of the orchestrated
+``Communicator._allreduce_move`` — never in thread *arrival* order, so
+SPMD results are bit-identical across runs and to the orchestrated
+backend.
 
 Usage::
 
     def program(ctx):          # executed once per rank, concurrently
         part = compute_local(ctx.rank)
-        total = ctx.allreduce(part)
+        req = ctx.iallreduce(part)
+        ...                    # overlapped local work
+        total = req.wait()
         return total
 
     results = run_spmd(4, program)
@@ -28,13 +43,55 @@ Usage::
 
 from __future__ import annotations
 
+import queue
 import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
-__all__ = ["SpmdContext", "run_spmd"]
+from repro.runtime.transport import (
+    Transport,
+    TransportDeadRankError,
+    TransportError,
+    TransportGroup,
+    TransportTimeoutError,
+)
+
+__all__ = ["SpmdContext", "SpmdRequest", "run_spmd", "ThreadTransport"]
+
+
+def _reduce_rank_ordered(slots: list):
+    """Rank-ordered SUM with the orchestrated accumulation order.
+
+    ``copy(slot0)`` then in-place ``+=`` of each later contribution —
+    bit-identical to ``Communicator._allreduce_move`` for every float
+    input, independent of which thread got here first.
+    """
+    first = slots[0]
+    if isinstance(first, np.ndarray):
+        total = first.copy()
+        for v in slots[1:]:
+            total += v
+        return total
+    total = first
+    for v in slots[1:]:
+        total = total + v
+    return total
+
+
+class _OpState:
+    """Rendezvous state of one in-flight collective (all ranks share it)."""
+
+    __slots__ = ("slots", "published", "barrier", "out", "finished", "lock")
+
+    def __init__(self, n: int):
+        self.slots: list = [None] * n
+        self.published = [False] * n
+        self.barrier = threading.Barrier(n)
+        self.out = None
+        self.finished = 0
+        self.lock = threading.Lock()
 
 
 class _Shared:
@@ -43,9 +100,105 @@ class _Shared:
     def __init__(self, n: int):
         self.n = n
         self.barrier = threading.Barrier(n)
-        self.slots: list = [None] * n
-        self.reduce_out = None
+        self.pending: dict[int, _OpState] = {}
         self.lock = threading.Lock()
+        self.aborted = False
+
+    def op_state(self, seq: int) -> _OpState:
+        """The state of collective ``seq`` (first arriving rank creates it)."""
+        with self.lock:
+            st = self.pending.get(seq)
+            if st is None:
+                st = _OpState(self.n)
+                if self.aborted:
+                    st.barrier.abort()
+                self.pending[seq] = st
+            return st
+
+    def op_done(self, seq: int, st: _OpState) -> None:
+        """Retire ``seq`` once the last rank has consumed its result."""
+        with st.lock:
+            st.finished += 1
+            last = st.finished == self.n
+        if last:
+            with self.lock:
+                self.pending.pop(seq, None)
+
+    def abort(self) -> None:
+        """Break every barrier so no rank stays blocked after a failure."""
+        with self.lock:
+            self.aborted = True
+            states = list(self.pending.values())
+        self.barrier.abort()
+        for st in states:
+            st.barrier.abort()
+
+
+class SpmdRequest:
+    """Handle for one in-flight SPMD collective (MPI request semantics).
+
+    Returned by :meth:`SpmdContext.iallreduce` / ``ibcast`` /
+    ``iallgather``.  The value is *published* at issue time;
+    :meth:`wait` synchronizes the ranks, performs the rank-ordered
+    movement and returns this rank's result (idempotent — later calls
+    return the cached result).  :meth:`test` probes whether every rank
+    has issued the matching call, without blocking.
+    """
+
+    __slots__ = ("_ctx", "_seq", "_state", "_kind", "_root", "_done",
+                 "_result")
+
+    def __init__(self, ctx: "SpmdContext", seq: int, state: _OpState,
+                 kind: str, root: int = 0):
+        self._ctx = ctx
+        self._seq = seq
+        self._state = state
+        self._kind = kind
+        self._root = root
+        self._done = False
+        self._result = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether :meth:`wait` has already settled this request."""
+        return self._done
+
+    def test(self) -> bool:
+        """True when every rank has issued the matching collective."""
+        if self._done:
+            return True
+        st = self._state
+        with st.lock:
+            return all(st.published)
+
+    def wait(self):
+        """Complete the collective and return this rank's result."""
+        if self._done:
+            return self._result
+        self._done = True
+        ctx = self._ctx
+        st = self._state
+        st.barrier.wait()  # every rank published (issue happens-before wait)
+        if self._kind == "allreduce":
+            if ctx.rank == 0:
+                st.out = _reduce_rank_ordered(st.slots)
+            st.barrier.wait()
+            out = st.out
+        elif self._kind == "bcast":
+            out = st.slots[self._root]
+        else:  # allgather
+            out = list(st.slots)
+        st.barrier.wait()  # nobody retires the state before all have read
+        if self._kind == "allgather":
+            self._result = [
+                np.array(v, copy=True) if isinstance(v, np.ndarray) else v
+                for v in out
+            ]
+        else:
+            self._result = (np.array(out, copy=True)
+                            if isinstance(out, np.ndarray) else out)
+        ctx._shared.op_done(self._seq, st)
+        return self._result
 
 
 @dataclass
@@ -55,46 +208,50 @@ class SpmdContext:
     rank: int
     size: int
     _shared: _Shared = field(repr=False)
+    _seq: int = field(default=0, repr=False)
 
-    # -- collectives ----------------------------------------------------------
+    # -- nonblocking collectives ----------------------------------------------
+    def _issue(self, kind: str, value, root: int = 0,
+               publish: bool = True) -> SpmdRequest:
+        self._seq += 1
+        st = self._shared.op_state(self._seq)
+        with st.lock:
+            if publish:
+                st.slots[self.rank] = value
+            st.published[self.rank] = True
+        return SpmdRequest(self, self._seq, st, kind, root)
+
+    def iallreduce(self, value) -> SpmdRequest:
+        """Issue a nonblocking SUM-allreduce; returns a request handle."""
+        return self._issue("allreduce", value)
+
+    def ibcast(self, value, root: int = 0) -> SpmdRequest:
+        """Issue a nonblocking broadcast of ``root``'s value."""
+        if not 0 <= root < self.size:
+            raise IndexError(f"root {root} out of range for size {self.size}")
+        return self._issue("bcast", value, root, publish=self.rank == root)
+
+    def iallgather(self, value) -> SpmdRequest:
+        """Issue a nonblocking allgather; ``wait()`` returns the rank-ordered
+        list of every rank's value."""
+        return self._issue("allgather", value)
+
+    # -- blocking collectives (issue + immediate wait) ------------------------
     def barrier(self) -> None:
         """Block until every rank reaches this point."""
         self._shared.barrier.wait()
 
     def allreduce(self, value):
         """SUM-allreduce of numpy arrays or scalars across all ranks."""
-        sh = self._shared
-        sh.slots[self.rank] = value
-        sh.barrier.wait()
-        if self.rank == 0:
-            total = sh.slots[0]
-            total = np.array(total, copy=True) if isinstance(total, np.ndarray) else total
-            for v in sh.slots[1:]:
-                total = total + v
-            sh.reduce_out = total
-        sh.barrier.wait()
-        out = sh.reduce_out
-        sh.barrier.wait()  # nobody reuses slots before all have read
-        return np.array(out, copy=True) if isinstance(out, np.ndarray) else out
+        return self.iallreduce(value).wait()
 
     def bcast(self, value, root: int = 0):
         """Broadcast ``root``'s value to all ranks (arrays are copied)."""
-        sh = self._shared
-        if self.rank == root:
-            sh.reduce_out = value
-        sh.barrier.wait()
-        out = sh.reduce_out
-        sh.barrier.wait()
-        return np.array(out, copy=True) if isinstance(out, np.ndarray) else out
+        return self.ibcast(value, root).wait()
 
     def allgather(self, value) -> list:
         """Collect every rank's value; returns the rank-ordered list."""
-        sh = self._shared
-        sh.slots[self.rank] = value
-        sh.barrier.wait()
-        out = list(sh.slots)
-        sh.barrier.wait()
-        return out
+        return self.iallgather(value).wait()
 
 
 def run_spmd(n_ranks: int, program: Callable[[SpmdContext], object],
@@ -103,7 +260,7 @@ def run_spmd(n_ranks: int, program: Callable[[SpmdContext], object],
 
     Returns the per-rank return values (rank order).  An exception in
     any rank aborts the run and is re-raised (other ranks are released
-    by breaking the barrier).
+    by breaking every barrier).
     """
     if n_ranks < 1:
         raise ValueError("need at least one rank")
@@ -118,7 +275,7 @@ def run_spmd(n_ranks: int, program: Callable[[SpmdContext], object],
         except Exception as exc:  # noqa: BLE001 - propagated to caller
             with shared.lock:
                 errors.append((rank, exc))
-            shared.barrier.abort()
+            shared.abort()
 
     threads = [
         threading.Thread(target=worker, args=(r,), daemon=True)
@@ -129,9 +286,175 @@ def run_spmd(n_ranks: int, program: Callable[[SpmdContext], object],
     for t in threads:
         t.join(timeout)
         if t.is_alive():
-            shared.barrier.abort()
+            shared.abort()
             raise TimeoutError("SPMD program did not finish in time")
     if errors:
-        rank, exc = errors[0]
+        # prefer the originating failure over the broken-barrier wakeups
+        # it caused on the other ranks
+        primary = [e for e in errors
+                   if not isinstance(e[1], threading.BrokenBarrierError)]
+        rank, exc = (primary or errors)[0]
         raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
     return results
+
+
+# ---------------------------------------------------------------------------
+# The ``threads`` execution backend (DESIGN.md §5h)
+# ---------------------------------------------------------------------------
+
+class _ThreadJob:
+    """One data-plane collective, executed by a team of rank threads.
+
+    Two barrier rounds frame the work: ``enter`` (all members arrived —
+    the liveness probe) and ``done`` (members *and* the orchestrating
+    main thread — the completion fence).  ``fn(idx, job)`` runs on every
+    member thread with its position in the group.
+    """
+
+    __slots__ = ("fn", "timeout", "enter", "done", "errors", "lock")
+
+    def __init__(self, n_members: int, fn, timeout: float):
+        self.fn = fn
+        self.timeout = timeout
+        self.enter = threading.Barrier(n_members)
+        self.done = threading.Barrier(n_members + 1)
+        self.errors: list = []
+        self.lock = threading.Lock()
+
+    def run(self, idx: int) -> None:
+        """Member-thread side: synchronize, work, release main."""
+        try:
+            self.enter.wait(self.timeout)
+            self.fn(idx, self)
+        except threading.BrokenBarrierError:
+            pass  # a peer failed; main raises the typed error
+        except Exception as exc:  # noqa: BLE001 - surfaced by main
+            with self.lock:
+                self.errors.append((idx, exc))
+            self.enter.abort()
+            self.done.abort()
+        finally:
+            try:
+                self.done.wait(self.timeout)
+            except threading.BrokenBarrierError:
+                pass
+
+
+class _RankThread:
+    """One persistent service thread: a backend rank's execution lane."""
+
+    __slots__ = ("rank", "queue", "thread")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.queue: queue.SimpleQueue = queue.SimpleQueue()
+        self.thread = threading.Thread(
+            target=self._loop, name=f"repro-rank{rank}", daemon=True)
+        self.thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            job, idx = item
+            job.run(idx)
+
+
+class ThreadGroup(TransportGroup):
+    """A communicator's data plane on the thread team.
+
+    The reduction itself stays serial on the lowest member (the
+    rank-ordered accumulation order is the bit-identity contract); the
+    fan-out phases — broadcast copies, reduced-total write-back — run
+    one-buffer-per-member *concurrently*, where NumPy's copies release
+    the GIL.
+    """
+
+    def _dispatch(self, fn) -> None:
+        transport = self.transport
+        members = self.member_ids
+        job = _ThreadJob(len(members), fn, transport.timeout)
+        for idx, m in enumerate(members):
+            transport.lane(m).queue.put((job, idx))
+        try:
+            job.done.wait(transport.timeout)
+        except threading.BrokenBarrierError:
+            with job.lock:
+                errors = list(job.errors)
+            if errors:
+                idx, exc = errors[0]
+                raise TransportError(
+                    f"thread backend rank {members[idx]} failed: {exc!r}"
+                ) from exc
+            dead = [m for m in members
+                    if not transport.lane(m).thread.is_alive()]
+            if dead:
+                raise TransportDeadRankError(dead)
+            raise TransportTimeoutError(
+                f"thread backend collective timed out after "
+                f"{transport.timeout:g}s on ranks {members}")
+
+    def _plane_allreduce(self, unique, shared, out):
+        def fn(idx, job):
+            if idx == 0:  # lowest member owns the rank-ordered sum
+                acc = out
+                for b in unique[1:]:
+                    acc += b
+        self._dispatch(fn)
+        return out
+
+    def _plane_scatter(self, buffers, total):
+        def fn(idx, job):
+            buffers[idx][...] = total
+        self._dispatch(fn)
+
+    def _plane_bcast(self, buffers, root):
+        src = buffers[root]
+
+        def fn(idx, job):
+            if idx != root:
+                buffers[idx][...] = src
+        self._dispatch(fn)
+
+    def _plane_allgather(self, buffers):
+        self._dispatch(lambda idx, job: None)
+
+    def _plane_barrier(self):
+        self._dispatch(lambda idx, job: None)
+
+
+class ThreadTransport(Transport):
+    """The ``threads`` backend: one persistent OS thread per rank.
+
+    Promoted from the ``run_spmd`` machinery above — same barrier
+    semantics, same rank-ordered reductions — but shaped as a
+    :class:`~repro.runtime.transport.Transport` so the orchestrated
+    control plane can drive it: the main thread still walks the solver
+    and charges the model, while each collective's data movement is a
+    phased job on the member rank threads.
+    """
+
+    name = "threads"
+
+    def __init__(self, n_ranks: int, *, timeout: float = 60.0):
+        super().__init__(n_ranks)
+        self.timeout = float(timeout)
+        self._lanes = [_RankThread(r) for r in range(self.n_ranks)]
+        self._closed = False
+
+    def lane(self, rank: int) -> _RankThread:
+        """The service thread of backend rank ``rank``."""
+        return self._lanes[rank]
+
+    def _make_group(self, member_ids):
+        return ThreadGroup(self, member_ids)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for lane in self._lanes:
+            lane.queue.put(None)
+        for lane in self._lanes:
+            lane.thread.join(timeout=2.0)

@@ -1,0 +1,194 @@
+"""Conformance matrix for the pluggable execution backends (DESIGN.md §5h).
+
+Every transport must reproduce the orchestrated oracle **exactly**:
+bit-identical eigenpairs and residuals, and per-level CommStats whose
+independently measured wire account matches the modeled charges field
+for field (``assert_transport_parity`` runs inside every solve).  The
+mp backend additionally proves its liveness contract: a killed worker
+process surfaces as a typed ``TransportDeadRankError``, never a hang.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ChaseConfig, ChaseSolver
+from repro.distributed import DistributedHermitian, comm_compress_scope
+from repro.matrices import uniform_matrix
+from repro.runtime import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    Grid2D,
+    TransportDeadRankError,
+    TransportError,
+    TransportParityError,
+    VirtualCluster,
+    kernel_worker_scope,
+)
+from repro.runtime.mp_backend import MpTransport, UniqueId
+from repro.runtime.transport import (
+    create_transport,
+    parse_transport,
+    schedule_messages,
+    transport_parity_report,
+)
+
+BACKENDS = ("threads", "mp")
+
+
+def _solve(backend, p=2, q=2, n=96, nev=8, nex=6, compress=None,
+           plan=None, workers=1):
+    rng = np.random.default_rng(12345)
+    H = uniform_matrix(n, rng=rng)
+    with VirtualCluster(p * q, backend=backend) as cluster:
+        grid = Grid2D(cluster, p, q)
+        if plan is not None:
+            cluster.attach_faults(plan)
+        Hd = DistributedHermitian.from_dense(grid, H)
+        solver = ChaseSolver(grid, Hd, ChaseConfig(nev=nev, nex=nex))
+        import contextlib
+
+        ctx = (comm_compress_scope(compress) if compress
+               else contextlib.nullcontext())
+        with ctx, kernel_worker_scope(workers):
+            res = solver.solve(rng=np.random.default_rng(7),
+                               return_vectors=True)
+        final = solver.grid
+        return res, final.comm_stats(), final.comm_stats_levels()
+
+
+class TestConformanceMatrix:
+    """Small solves on every backend against the orchestrated oracle."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("p,q", [(2, 2), (1, 3)])
+    def test_solve_bit_identical(self, backend, p, q):
+        base, stats0, levels0 = _solve("orchestrated", p, q)
+        res, stats, levels = _solve(backend, p, q)
+        np.testing.assert_array_equal(res.eigenvalues, base.eigenvalues)
+        np.testing.assert_array_equal(res.eigenvectors, base.eigenvectors)
+        np.testing.assert_array_equal(res.residual_norms, base.residual_norms)
+        assert stats == stats0
+        assert levels == levels0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_compressed_wire_parity(self, backend):
+        """fp32-compressed collectives: the wire account (compressed
+        widths included) must still match the modeled CommStats — the
+        in-solve parity assert would raise otherwise — and the numerics
+        must match the orchestrated compressed run bit for bit."""
+        base, stats0, levels0 = _solve("orchestrated", compress="fp32")
+        res, stats, levels = _solve(backend, compress="fp32")
+        np.testing.assert_array_equal(res.eigenvalues, base.eigenvalues)
+        np.testing.assert_array_equal(res.residual_norms, base.residual_norms)
+        assert stats == stats0
+        assert levels == levels0
+
+    def test_mp_kernel_plane_bit_identical(self):
+        """With REPRO_KERNEL_WORKERS above one the mp backend ships the
+        hemm/axpby batches to worker BLAS pools; bits must not move."""
+        base, stats0, _ = _solve("orchestrated", workers=1)
+        res, stats, _ = _solve("mp", workers=2)
+        np.testing.assert_array_equal(res.eigenvalues, base.eigenvalues)
+        np.testing.assert_array_equal(res.eigenvectors, base.eigenvectors)
+        assert stats == stats0
+
+    def test_run_twice_identical(self):
+        """The threads backend is deterministic across runs (the
+        rank-ordered reduction contract, satellite of §5h)."""
+        a = _solve("threads")
+        b = _solve("threads")
+        np.testing.assert_array_equal(a[0].eigenvalues, b[0].eigenvalues)
+        np.testing.assert_array_equal(a[0].eigenvectors, b[0].eigenvectors)
+        assert a[1] == b[1]
+
+
+class TestTransportSurface:
+    def test_parse_transport_env(self, monkeypatch):
+        assert parse_transport("MP ") == "mp"
+        monkeypatch.setenv("REPRO_BACKEND", "threads")
+        assert parse_transport(None) == "threads"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert parse_transport(None) == "orchestrated"
+        with pytest.raises(ValueError):
+            parse_transport("smoke-signals")
+
+    def test_schedule_messages(self):
+        assert schedule_messages("allreduce", 1) == 0
+        assert schedule_messages("allreduce", 4) == 4
+        assert schedule_messages("bcast", 8) == 3
+        assert schedule_messages("allgather", 5) == 4
+        with pytest.raises(ValueError):
+            schedule_messages("alltoall", 4)
+
+    def test_cluster_backend_token_conflict(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            VirtualCluster(2, backend="mp", transport="threads")
+
+    def test_create_transport_names(self):
+        for name in ("orchestrated", "threads", "mp"):
+            with create_transport(name, 2) as t:
+                assert t.name == name
+
+    def test_parity_detects_divergence(self):
+        """A wire account that drifts from the model must raise."""
+        cluster = VirtualCluster(4)
+        grid = Grid2D(cluster, 2, 2)
+        comm = grid.row_comm(0)
+        comm.allreduce([np.ones(8) for _ in range(2)])
+        assert transport_parity_report(grid) == []
+        # tamper: pretend the data plane moved an extra collective
+        comm.transport_group.record_wire("bcast", [np.ones(8)])
+        report = transport_parity_report(grid)
+        assert [label for label, *_ in report] == ["row0"]
+        from repro.runtime.transport import assert_transport_parity
+
+        with pytest.raises(TransportParityError):
+            assert_transport_parity(grid)
+
+
+class TestMpFaults:
+    def test_killed_worker_is_typed_not_a_hang(self):
+        t = MpTransport(2, timeout=20.0)
+        try:
+            g = t.group([0, 1])
+            g.barrier_sync()  # spawns both workers
+            t.worker(1).proc.kill()
+            t.worker(1).proc.join(timeout=5.0)
+            with pytest.raises(TransportDeadRankError):
+                g.barrier_sync()
+        finally:
+            t.close()
+
+    def test_worker_error_surfaces_typed(self):
+        t = MpTransport(1, timeout=20.0)
+        try:
+            with pytest.raises(TransportError, match="unknown command"):
+                t.rpc(0, ("definitely-not-a-command",))
+        finally:
+            t.close()
+
+    def test_closed_transport_refuses(self):
+        t = MpTransport(1)
+        t.close()
+        t.close()  # idempotent
+        with pytest.raises(TransportError):
+            t.worker(0)
+
+    def test_unique_id_namespacing(self):
+        a, b = UniqueId(), UniqueId()
+        assert a.token != b.token
+        assert UniqueId("cafe").segment_name(1, 2) == "repro-cafe-r1g2"
+
+    def test_rank_death_recovery_on_mp(self):
+        """A modeled rank death mid-solve: the survivor grid keeps the
+        same transport (stable lane ids) and the solve still converges
+        with oracle parity (asserted inside solve)."""
+        base, *_ = _solve("orchestrated")
+        plan = FaultPlan(events=(
+            FaultEvent(kind=FaultKind.RANK_DEATH, rank=3,
+                       time=0.5 * base.makespan),
+        ))
+        res, *_ = _solve("mp", plan=plan)
+        assert res.converged
+        assert res.recoveries >= 1

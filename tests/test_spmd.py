@@ -60,6 +60,104 @@ class TestCollectives:
             run_spmd(0, lambda ctx: None)
 
 
+class TestNonblocking:
+    """The full Communicator vocabulary: i-collectives with wait/test."""
+
+    def test_iallreduce_overlap(self):
+        def prog(ctx):
+            req = ctx.iallreduce(np.full(4, 1.0 + ctx.rank))
+            local = float(ctx.rank * 10)  # overlapped local work
+            total = req.wait()
+            assert req.complete
+            return total[0] + local
+
+        out = run_spmd(3, prog)
+        assert out == [6.0, 16.0, 26.0]  # 1+2+3 = 6 everywhere
+
+    def test_wait_is_idempotent(self):
+        def prog(ctx):
+            req = ctx.iallreduce(np.arange(3.0))
+            first = req.wait()
+            again = req.wait()
+            assert again is first
+            return first.sum()
+
+        assert run_spmd(2, prog) == [6.0, 6.0]
+
+    def test_test_probes_publication(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                req = ctx.iallreduce(1.0)
+                # rank 1 has not issued yet (it blocks on the barrier
+                # below first), so the op cannot be complete
+                assert not req.complete
+                ctx.barrier()
+                return req.wait()
+            ctx.barrier()
+            return ctx.iallreduce(2.0).wait()
+
+        assert run_spmd(2, prog) == [3.0, 3.0]
+
+    def test_ibcast_root_value_only(self):
+        def prog(ctx):
+            req = ctx.ibcast(
+                np.arange(5) * 3 if ctx.rank == 2 else None, root=2)
+            assert req.test() or True  # probe never blocks
+            return req.wait()
+
+        out = run_spmd(4, prog)
+        for o in out:
+            np.testing.assert_array_equal(o, np.arange(5) * 3)
+
+    def test_ibcast_root_range_checked(self):
+        def prog(ctx):
+            ctx.ibcast(1.0, root=5)
+
+        with pytest.raises(RuntimeError, match="IndexError"):
+            run_spmd(2, prog)
+
+    def test_iallgather(self):
+        def prog(ctx):
+            req = ctx.iallgather(np.full(2, float(ctx.rank)))
+            parts = req.wait()
+            return np.concatenate(parts)
+
+        out = run_spmd(3, prog)
+        for o in out:
+            np.testing.assert_array_equal(o, [0, 0, 1, 1, 2, 2])
+
+    def test_two_inflight_requests(self):
+        """Sequence numbers keep concurrent in-flight collectives apart."""
+        def prog(ctx):
+            r1 = ctx.iallreduce(float(ctx.rank))
+            r2 = ctx.iallgather(ctx.rank * 2)
+            return r2.wait(), r1.wait()  # completed out of issue order
+
+        out = run_spmd(3, prog)
+        for gathered, total in out:
+            assert gathered == [0, 2, 4]
+            assert total == 3.0
+
+    def test_reduction_bit_identical_across_runs(self):
+        """Rank-ordered accumulation: float sums whose value depends on
+        the order must agree bit for bit across runs and with the
+        orchestrated left-fold."""
+        rng = np.random.default_rng(99)
+        parts = [rng.standard_normal(257) * 10.0 ** (k - 2)
+                 for k in range(5)]
+
+        def prog(ctx):
+            return ctx.allreduce(parts[ctx.rank])
+
+        ref = parts[0].copy()
+        for b in parts[1:]:
+            ref += b
+        for _ in range(3):
+            out = run_spmd(5, prog)
+            for o in out:
+                np.testing.assert_array_equal(o, ref)
+
+
 class TestSpmdCholeskyQR:
     def test_matches_orchestrated(self, rng):
         """A genuinely concurrent 1D CholeskyQR2 on row blocks must give
