@@ -11,7 +11,15 @@ This example simulates a short SCF sequence on a scaled DFT-like
 Hamiltonian and compares cold starts against warm starts.
 
     python examples/dft_scf_sequence.py
+
+With ``--service`` the same sequence additionally runs through the
+eigensolver-as-a-service layer (DESIGN.md §5i): jobs submitted to an
+:class:`~repro.service.EigenService` with a shared ``sequence_id`` are
+warm-started automatically from the subspace cache — no manual basis
+carrying, plus spectral-bound and degree-plan reuse on top.
 """
+
+import argparse
 
 import numpy as np
 
@@ -19,7 +27,31 @@ from repro import ChaseConfig, chase_serial
 from repro.matrices import build_problem
 
 
+def service_route(hams, nev, nex) -> None:
+    """The same sequence through EigenService: submit every cycle as a
+    job sharing one ``sequence_id`` and let the service warm-start."""
+    from repro.service import EigenService, SolveJob
+
+    svc = EigenService(total_ranks=8, n_shards=1, tune="off")
+    for k, H in enumerate(hams):
+        svc.submit(SolveJob(H=H, nev=nev, nex=nex, sequence_id="scf",
+                            step=k, seed=100 + k, tenant="dft"))
+    print("\nvia EigenService (2x4 NCCL shard, automatic warm-start):")
+    print(f"{'cycle':>5} {'warmstart':>12} {'iters':>6} {'saved':>6} "
+          f"{'filter MatVecs':>15}")
+    for r in svc.run():
+        assert r.converged
+        print(f"{r.step:5d} {r.warmstart:>12} {r.iterations:6d} "
+              f"{r.iterations_saved:6d} {r.filter_matvecs:15d}")
+    print(f"cache: {svc.cache.stats()}")
+
+
 def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--service", action="store_true",
+                    help="also run the sequence through EigenService")
+    args = ap.parse_args()
+
     rng = np.random.default_rng(7)
     H0, prob = build_problem("NaCl-9k", N_target=400)
     N, nev, nex = prob.N, prob.nev, prob.nex
@@ -63,6 +95,9 @@ def main() -> None:
     print(f"\ntotal MatVecs: cold={total_cold}, warm={total_warm} "
           f"({1 - total_warm / total_cold:.0%} saved)")
     assert total_warm < total_cold
+
+    if args.service:
+        service_route(hams, nev, nex)
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands mirror the library's main entry points::
+Seven subcommands mirror the library's main entry points::
 
     python -m repro solve --n 600 --nev 30                 # serial solve
     python -m repro solve --n 400 --nev 20 --distributed \\
@@ -9,6 +9,8 @@ Six subcommands mirror the library's main entry points::
     python -m repro weak --nodes 1 4 16 64                 # Fig. 3a points
     python -m repro strong --nodes 4 36 144                # Fig. 3b points
     python -m repro tune --ranks 8 --n 800 --nev 96        # autotuner table
+    python -m repro serve --jobs jobs.json                 # eigensolver
+                                                           # service (§5i)
     python -m repro reproduce -o report.txt                # condensed
                                                            # end-to-end run
 
@@ -345,6 +347,79 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Eigensolver-as-a-service: run a jobs file through EigenService
+    (DESIGN.md §5i) and print the per-job scheduling/warm-start story."""
+    from repro.service import EigenService, SolveJob, load_jobs, scf_sequence
+
+    if args.smoke:
+        # 3 jobs on 2 shards: a two-step sequence (one warm-start hit)
+        # plus an unrelated higher-priority tenant
+        hams = scf_sequence(180, 2, seed=args.seed)
+        jobs = [
+            (SolveJob(H=hams[0], nev=24, nex=12, sequence_id="smoke-scf",
+                      step=0, seed=args.seed, tenant="alice"), 0.0),
+            (SolveJob(H=hams[1], nev=24, nex=12, sequence_id="smoke-scf",
+                      step=1, seed=args.seed + 1, tenant="alice"), 0.0),
+            (SolveJob(H=hams[0], nev=16, nex=8, tenant="bob",
+                      priority=1, seed=args.seed + 2), 0.0),
+        ]
+    elif args.jobs:
+        jobs = load_jobs(args.jobs)
+    else:
+        print("serve needs --jobs FILE or --smoke", file=sys.stderr)
+        return 2
+
+    svc = EigenService(
+        total_ranks=args.ranks, n_shards=args.shards,
+        backend=_split_backend(args.backend)[0],
+        transport=_split_backend(args.backend)[1],
+        quota=args.quota, max_queue=args.max_queue,
+        warmstart=not args.no_warmstart, tune=args.tune,
+        refresh_extras=args.refresh_extras,
+    )
+    svc.submit_many(jobs)
+    results = svc.run()
+
+    rows = []
+    for r in results:
+        rows.append([
+            r.job_id, r.tenant, r.state.value,
+            "-" if r.shard is None else r.shard,
+            "-" if r.queue_wait is None else f"{r.queue_wait * 1e3:.2f}",
+            f"{r.makespan * 1e3:.2f}" if r.makespan else "-",
+            r.warmstart, r.iterations, r.iterations_saved,
+            "yes" if r.converged else ("-" if r.chase is None else "NO"),
+        ])
+    print(render_table(
+        ["job", "tenant", "state", "shard", "wait (ms)", "solve (ms)",
+         "warm", "iters", "saved", "conv"],
+        rows,
+        title=(
+            f"eigenservice: {len(results)} jobs on {args.shards} shards "
+            f"x {args.ranks // args.shards} ranks, backend={args.backend}, "
+            f"tune={args.tune}"
+        ),
+    ))
+    done = [r for r in results if r.state.value == "done"]
+    horizon = max((r.finish_time or 0.0) for r in results) if results else 0.0
+    if horizon > 0:
+        print(f"throughput: {len(done)} solved in {horizon:.4f} modeled s "
+              f"({len(done) / horizon * 3600:.0f} jobs/hour)")
+    if svc.cache is not None:
+        print(f"warm-start cache: {svc.cache.hits} hits / "
+              f"{svc.cache.misses} misses, {svc.cache.nbytes} B held")
+    if args.smoke:
+        hits = sum(1 for r in results if r.warm_hit)
+        ok = (len(done) == len(results) and hits >= 1
+              and all(r.converged for r in done))
+        print(f"serve smoke: {len(done)}/{len(results)} done, "
+              f"{hits} warm hit(s) -> {'OK' if ok else 'FAIL'}")
+        return 0 if ok else 1
+    return 0 if all(r.state.value == "done" and r.converged
+                    for r in results) else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Condensed end-to-end reproduction: one representative check per
     experiment, written as a plain-text report."""
@@ -512,6 +587,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one-line check that the winner's modeled makespan "
                         "is <= the untuned default's; exit 1 otherwise")
     s.set_defaults(func=_cmd_tune)
+
+    s = sub.add_parser(
+        "serve",
+        help="eigensolver-as-a-service: schedule a jobs file onto "
+             "cluster shards with autotuning and sequence warm-starts "
+             "(DESIGN.md §5i)",
+    )
+    s.add_argument("--jobs", default=None, metavar="FILE",
+                   help="jobs file (JSON; YAML when PyYAML is available) "
+                        "— see docs/usage.md for the schema")
+    s.add_argument("--ranks", type=int, default=8,
+                   help="total simulated ranks across all shards")
+    s.add_argument("--shards", type=int, default=2,
+                   help="disjoint cluster partitions (one job each)")
+    s.add_argument("--backend", choices=_BACKEND_CHOICES, default="nccl")
+    s.add_argument("--tune", choices=("off", "fast", "full"), default="fast",
+                   help="model-driven per-job config selection")
+    s.add_argument("--quota", type=int, default=None,
+                   help="per-tenant in-flight job quota")
+    s.add_argument("--max-queue", type=int, default=64,
+                   help="bounded admission queue size")
+    s.add_argument("--no-warmstart", action="store_true",
+                   help="disable the sequence warm-start cache")
+    s.add_argument("--refresh-extras", action="store_true",
+                   help="re-randomize the nex buffer columns on warm "
+                        "starts (default: reuse the cached subspace "
+                        "exactly)")
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--smoke", action="store_true",
+                   help="self-contained check: 3 jobs on 2 shards with "
+                        "one warm-start hit; exit 1 on any failure")
+    s.set_defaults(func=_cmd_serve)
 
     s = sub.add_parser(
         "reproduce",

@@ -14,7 +14,7 @@ from repro.core.config import ChaseConfig
 from repro.core.chase import ChaseSolver, ChaseResult
 from repro.core.precision import PrecisionPolicy, narrow_dtype, resolve_work_dtype
 from repro.core.serial import chase_serial
-from repro.core.sequence import EigenSequenceSolver, SequenceStep
+from repro.core.sequence import EigenSequenceSolver, SequenceStep, starting_basis
 from repro.core.trace import ConvergenceTrace, IterationRecord
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "chase_serial",
     "EigenSequenceSolver",
     "SequenceStep",
+    "starting_basis",
     "ConvergenceTrace",
     "IterationRecord",
     "PrecisionPolicy",

@@ -110,6 +110,15 @@ class ChaseResult:
     #: each outer iteration, plus why the sticky fp64 promotion fired
     precision_log: list = field(default_factory=list)
     precision_promote_reason: str | None = None
+    #: eigensolver-as-a-service (DESIGN.md §5i): the full ``N x ne``
+    #: final search subspace (``solve(return_subspace=True)`` only) and
+    #: the final per-column Chebyshev degree plan — what the warm-start
+    #: cache carries into the next step of a correlated sequence
+    subspace: np.ndarray | None = None
+    degrees: np.ndarray | None = None
+    #: the spectral estimates the solve ran with (computed by Lanczos or
+    #: passed in via ``solve(bounds=...)``) — cached for the next step
+    bounds: "SpectralBounds | None" = None
 
 
 class ChaseSolver:
@@ -688,8 +697,20 @@ class ChaseSolver:
         V0: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
         return_vectors: bool = False,
+        *,
+        bounds: SpectralBounds | None = None,
+        return_subspace: bool = False,
     ) -> ChaseResult:
         """Numeric solve to convergence (Algorithm 2).
+
+        ``bounds`` short-circuits the Lanczos pre-processing with known
+        spectral estimates (DESIGN.md §5i): a warm-started sequence step
+        reuses the previous step's bounds, skipping the Lanczos phase
+        and its MatVecs entirely.  The caller owns the estimates'
+        validity — the acceptance layer still rejects Ritz values above
+        ``b_sup``.  ``return_subspace`` additionally gathers the full
+        ``N x ne`` final search block into ``ChaseResult.subspace`` (the
+        warm-start payload of the next step).
 
         With a fault plan armed on the cluster (DESIGN.md §5f), typed
         faults raised by the runtime hooks trigger the recovery policy —
@@ -707,7 +728,9 @@ class ChaseSolver:
         """
         transport = self.grid.cluster.transport
         with executor.kernel_plane_scope(transport.kernel_plane):
-            result = self._solve_numeric(V0, rng, return_vectors)
+            result = self._solve_numeric(V0, rng, return_vectors,
+                                         bounds=bounds,
+                                         return_subspace=return_subspace)
         # every group must have moved exactly the modeled traffic;
         # checked on the final grid (post-recovery re-layouts replace
         # the communicators along with their groups)
@@ -719,6 +742,9 @@ class ChaseSolver:
         V0: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
         return_vectors: bool = False,
+        *,
+        bounds: SpectralBounds | None = None,
+        return_subspace: bool = False,
     ) -> ChaseResult:
         rng = rng if rng is not None else np.random.default_rng()
         cfg = self.cfg
@@ -750,11 +776,14 @@ class ChaseSolver:
         while True:
             try:
                 C, C2, B, B2 = self._allocate_from(V_init)
-                with tracer.phase("Lanczos"):
-                    bounds = lanczos_bounds(
-                        self.hemm, ne, steps=cfg.lanczos_steps,
-                        runs=cfg.lanczos_runs, rng=rng,
-                    )
+                if bounds is None:
+                    # warm-started sequence steps pass cached bounds
+                    # (DESIGN.md §5i) and skip the Lanczos phase whole
+                    with tracer.phase("Lanczos"):
+                        bounds = lanczos_bounds(
+                            self.hemm, ne, steps=cfg.lanczos_steps,
+                            runs=cfg.lanczos_runs, rng=rng,
+                        )
                 break
             except FaultError as err:
                 if injector is None or isinstance(err, RecoveryExhaustedError):
@@ -985,7 +1014,12 @@ class ChaseSolver:
         resd = resd[final] if resd is not None else None
 
         vectors = None
-        if return_vectors:
+        subspace = None
+        if return_subspace:
+            subspace = C.gather(0).copy()
+            if return_vectors:
+                vectors = subspace[:, :nev].copy()
+        elif return_vectors:
             vectors = C.gather(0)[:, :nev]
 
         timings = {ph: tracer.breakdown(ph) for ph in tracer.phases()}
@@ -1006,6 +1040,9 @@ class ChaseSolver:
             fault_log=list(injector.log) if injector is not None else [],
             precision_log=list(policy.log),
             precision_promote_reason=policy.promote_reason,
+            subspace=subspace,
+            degrees=degs_full[final].copy(),
+            bounds=bounds,
         )
 
     # -------------------------------------------------------------- phantom

@@ -8,6 +8,13 @@ it carries the converged basis from one problem of a sequence into the
 next as the starting subspace, topping it up with fresh random extra
 vectors, and records per-step statistics so the warm-start benefit is
 measurable.
+
+:func:`starting_basis` is the reusable warm-start assembly (the piece
+the distributed service layer shares — see
+:mod:`repro.service.warmstart`): given a previously converged subspace
+it either reuses it verbatim (``refresh_extras=False``) or keeps the
+``nev`` converged directions and re-randomizes the ``nex`` buffer
+columns.
 """
 
 from __future__ import annotations
@@ -19,7 +26,46 @@ import numpy as np
 from repro.core.config import ChaseConfig
 from repro.core.serial import SerialResult, chase_serial
 
-__all__ = ["SequenceStep", "EigenSequenceSolver"]
+__all__ = ["SequenceStep", "EigenSequenceSolver", "starting_basis"]
+
+
+def starting_basis(
+    basis: np.ndarray | None,
+    N: int,
+    cfg: ChaseConfig,
+    dtype,
+    rng: np.random.Generator,
+    refresh_extras: bool = True,
+) -> np.ndarray | None:
+    """Assemble the ``N x ne`` starting block of a warm-started solve.
+
+    ``basis`` is the previous step's converged subspace (at least
+    ``nev`` columns, converged directions first).  With
+    ``refresh_extras=False`` and a full ``ne``-wide basis the previous
+    subspace is reused *exactly* (bit-identical columns — no random
+    draw, no re-orthonormalization); otherwise the ``nev`` leading
+    columns are kept and the ``nex`` buffer columns are replaced by a
+    fresh orthonormalized random block drawn from ``rng``.
+
+    Returns ``None`` when ``basis`` is ``None`` (cold start).
+    """
+    if basis is None:
+        return None
+    if basis.shape[0] != N:
+        raise ValueError(
+            f"warm-start basis has dimension {basis.shape[0]}, problem has {N}"
+        )
+    if basis.shape[1] < cfg.nev:
+        raise ValueError(
+            f"warm-start basis has {basis.shape[1]} columns, need >= {cfg.nev}"
+        )
+    if not refresh_extras and basis.shape[1] == cfg.ne:
+        return basis
+    extras = rng.standard_normal((N, cfg.nex))
+    if np.dtype(dtype).kind == "c":
+        extras = extras + 1j * rng.standard_normal((N, cfg.nex))
+    extras = np.linalg.qr(extras.astype(dtype))[0]
+    return np.concatenate([basis[:, : cfg.nev], extras], axis=1)
 
 
 @dataclass(frozen=True)
@@ -48,7 +94,7 @@ class EigenSequenceSolver:
         When True (default), the ``nex`` extra columns are re-randomized
         at every step (the converged ``nev`` vectors are what carries
         the correlation); when False the full previous subspace is
-        reused.
+        reused exactly.
     """
 
     config: ChaseConfig
@@ -63,17 +109,17 @@ class EigenSequenceSolver:
     def total_matvecs(self) -> int:
         return sum(s.matvecs for s in self.steps)
 
+    @property
+    def basis(self) -> np.ndarray | None:
+        """The carried subspace (full ``N x ne`` when the last step
+        converged), or ``None`` before the first converged step."""
+        return self._basis
+
     def _starting_basis(self, N: int, dtype) -> np.ndarray | None:
-        if self._basis is None:
-            return None
-        cfg = self.config
-        if not self.refresh_extras and self._basis.shape[1] == cfg.ne:
-            return self._basis
-        extras = self.rng.standard_normal((N, cfg.nex))
-        if np.dtype(dtype).kind == "c":
-            extras = extras + 1j * self.rng.standard_normal((N, cfg.nex))
-        extras = np.linalg.qr(extras.astype(dtype))[0]
-        return np.concatenate([self._basis[:, : cfg.nev], extras], axis=1)
+        return starting_basis(
+            self._basis, N, self.config, dtype, self.rng,
+            refresh_extras=self.refresh_extras,
+        )
 
     def solve_next(self, H: np.ndarray) -> SerialResult:
         """Solve the next problem of the sequence, warm-starting from the
@@ -97,12 +143,12 @@ class EigenSequenceSolver:
             )
         )
         if res.converged:
-            # carry the full converged subspace (nev vectors) forward
-            self._basis = np.concatenate(
-                [res.eigenvectors,
-                 np.zeros((N, self.config.nex), dtype=res.eigenvectors.dtype)],
-                axis=1,
-            )
+            # carry the *full* converged subspace forward: the nev
+            # converged directions plus the still-orthonormal nex buffer
+            # columns (the former basis padded the buffer with zero
+            # columns, which made refresh_extras=False start from a
+            # rank-deficient block)
+            self._basis = res.subspace.copy()
         return res
 
     def reset(self) -> None:

@@ -41,6 +41,10 @@ class SerialResult:
     matvecs: int
     cond_estimates: list[float]
     qr_variants: list[str]
+    #: the full ``N x ne`` final search subspace (locked columns first,
+    #: ascending Ritz value) — what a warm-started continuation reuses
+    #: (:mod:`repro.core.sequence`, :mod:`repro.service.warmstart`)
+    subspace: np.ndarray | None = None
 
 
 def _lanczos_bounds_serial(
@@ -281,4 +285,5 @@ def chase_serial(
         matvecs=matvecs,
         cond_estimates=conds,
         qr_variants=variants,
+        subspace=V.copy(),
     )

@@ -1,0 +1,69 @@
+"""Eigensolver-as-a-service (DESIGN.md §5i).
+
+The service layer turns the one-shot solver into a persistent,
+multi-tenant queue — the deployment shape ChASE actually has inside DFT
+codes, where every SCF cycle submits a correlated eigenproblem:
+
+* :mod:`repro.service.jobs` — :class:`SolveJob` specs and the typed
+  PENDING→…→DONE/FAILED/CANCELLED lifecycle;
+* :mod:`repro.service.scheduler` — shard partitioning and the
+  priority/quota/deadline packing loop;
+* :mod:`repro.service.warmstart` — the LRU subspace cache that carries
+  converged state across sequence steps;
+* :mod:`repro.service.service` — :class:`EigenService`, wiring it all
+  to :class:`~repro.core.ChaseSolver` (``repro serve`` on the CLI).
+"""
+
+from repro.service.jobs import (
+    AdmissionError,
+    JobRecord,
+    JobState,
+    JobStateError,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceResult,
+    SolveJob,
+    TERMINAL_STATES,
+)
+from repro.service.scheduler import (
+    RunOutcome,
+    Scheduler,
+    Shard,
+    partition_ranks,
+)
+from repro.service.service import (
+    EigenService,
+    jobs_from_spec,
+    load_jobs,
+    scf_sequence,
+)
+from repro.service.warmstart import (
+    CacheEntry,
+    WarmStartCache,
+    WarmStartMiss,
+    degree_hint,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CacheEntry",
+    "EigenService",
+    "JobRecord",
+    "JobState",
+    "JobStateError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "RunOutcome",
+    "Scheduler",
+    "ServiceResult",
+    "Shard",
+    "SolveJob",
+    "TERMINAL_STATES",
+    "WarmStartCache",
+    "WarmStartMiss",
+    "degree_hint",
+    "jobs_from_spec",
+    "load_jobs",
+    "partition_ranks",
+    "scf_sequence",
+]

@@ -1,0 +1,262 @@
+"""Job specifications and lifecycle records (DESIGN.md §5i).
+
+The service layer turns the single-shot :class:`~repro.core.ChaseSolver`
+into a multi-tenant queue: every request is a :class:`SolveJob` (an
+immutable spec — matrix, subspace sizes, tenant, priority, optional
+sequence membership and deadline), tracked through a typed lifecycle
+
+    PENDING -> SCHEDULED -> RUNNING -> DONE | FAILED
+            \\-> CANCELLED (deadline missed / dependency dropped / user)
+
+by a mutable :class:`JobRecord`.  Transitions are *enforced* — an
+illegal move raises :class:`JobStateError`, so a scheduler bug can never
+silently drop a job or resurrect a terminal one (the property suite in
+``tests/test_service.py`` leans on this).
+
+Admission failures are typed: :class:`QueueFullError` (bounded queue
+backpressure) and :class:`QuotaExceededError` (per-tenant in-flight
+quota), both :class:`AdmissionError`, so callers can distinguish
+"retry later" from "shed load".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "JobState",
+    "TERMINAL_STATES",
+    "AdmissionError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "JobStateError",
+    "SolveJob",
+    "JobRecord",
+    "ServiceResult",
+]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a solve job."""
+
+    PENDING = "pending"        # admitted, waiting for a shard
+    SCHEDULED = "scheduled"    # picked for a shard, about to run
+    RUNNING = "running"        # solver executing
+    DONE = "done"              # solve returned (converged or not)
+    FAILED = "failed"          # solver raised (e.g. recovery exhausted)
+    CANCELLED = "cancelled"    # deadline missed or cancelled before start
+
+    @property
+    def terminal(self) -> bool:
+        return self in TERMINAL_STATES
+
+
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+)
+
+#: legal lifecycle transitions (terminal states have none)
+_LEGAL = {
+    JobState.PENDING: frozenset({JobState.SCHEDULED, JobState.CANCELLED}),
+    JobState.SCHEDULED: frozenset({JobState.RUNNING, JobState.CANCELLED}),
+    JobState.RUNNING: frozenset({JobState.DONE, JobState.FAILED}),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+    JobState.CANCELLED: frozenset(),
+}
+
+
+class AdmissionError(RuntimeError):
+    """The service refused to admit a job (backpressure)."""
+
+
+class QueueFullError(AdmissionError):
+    """The bounded service queue is full."""
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant is at its in-flight job quota."""
+
+
+class JobStateError(RuntimeError):
+    """An illegal lifecycle transition was attempted."""
+
+
+_job_counter = itertools.count()
+
+
+def _auto_job_id() -> str:
+    return f"job-{next(_job_counter)}"
+
+
+@dataclass(frozen=True, eq=False)
+class SolveJob:
+    """One solve request (immutable spec).
+
+    Attributes
+    ----------
+    H:
+        Dense Hermitian matrix (the service solves it on a shard of the
+        virtual cluster).
+    nev / nex / tol:
+        Solver parameters (see :class:`~repro.core.ChaseConfig`).
+    tenant:
+        Accounting principal; per-tenant quotas apply at admission.
+    priority:
+        Higher runs earlier; FIFO within equal priority.
+    sequence_id / step:
+        Membership in a correlated sequence (DFT SCF loop).  Steps of a
+        sequence run in order and share the warm-start cache entry.
+    deadline:
+        Latest acceptable *start* time in modeled service seconds; a job
+        whose turn comes later is CANCELLED, never silently dropped.
+    seed:
+        Seed of the solve's random basis / fresh extras (determinism).
+    deg / max_iter:
+        Optional :class:`~repro.core.ChaseConfig` overrides.
+    fault_seed / fault_events / fault_horizon:
+        When ``fault_seed`` is set, a seeded :class:`FaultPlan` is armed
+        on the job's shard (DESIGN.md §5f) — recovery runs *inside* the
+        job without perturbing concurrently scheduled jobs.
+    """
+
+    H: np.ndarray
+    nev: int
+    nex: int
+    tol: float = 1e-10
+    tenant: str = "default"
+    priority: int = 0
+    sequence_id: str | None = None
+    step: int = 0
+    deadline: float | None = None
+    seed: int = 0
+    deg: int | None = None
+    max_iter: int | None = None
+    fault_seed: int | None = None
+    fault_events: int = 4
+    fault_horizon: float = 0.01
+    checkpoint_every: int | None = None
+    job_id: str = field(default_factory=_auto_job_id)
+
+    def __post_init__(self) -> None:
+        H = np.asarray(self.H)
+        if H.ndim != 2 or H.shape[0] != H.shape[1]:
+            raise ValueError(f"H must be square, got shape {H.shape}")
+        object.__setattr__(self, "H", H)
+        if self.nev < 1 or self.nex < 1:
+            raise ValueError("need nev >= 1 and nex >= 1")
+        if self.nev + self.nex > H.shape[0]:
+            raise ValueError(
+                f"subspace ne={self.nev + self.nex} exceeds N={H.shape[0]}"
+            )
+        if self.step < 0:
+            raise ValueError("sequence step must be >= 0")
+        if self.step > 0 and self.sequence_id is None:
+            raise ValueError("step > 0 requires a sequence_id")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be >= 0 (modeled seconds)")
+
+    @property
+    def N(self) -> int:
+        return self.H.shape[0]
+
+    @property
+    def ne(self) -> int:
+        return self.nev + self.nex
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        seq = f", seq={self.sequence_id}[{self.step}]" if self.sequence_id else ""
+        return (
+            f"SolveJob({self.job_id}: N={self.N}, nev={self.nev}, "
+            f"tenant={self.tenant!r}, prio={self.priority}{seq})"
+        )
+
+
+@dataclass
+class JobRecord:
+    """Mutable lifecycle record of one admitted job.
+
+    All times are modeled service seconds on the shared virtual
+    timeline (submission at ``submit_time``, shard pickup at
+    ``start_time``, completion at ``finish_time``).
+    """
+
+    job: SolveJob
+    submit_index: int
+    submit_time: float = 0.0
+    state: JobState = JobState.PENDING
+    shard: int | None = None
+    start_time: float | None = None
+    finish_time: float | None = None
+    error: str | None = None
+    #: payload left by the runner (picked up by ServiceResult assembly)
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def transition(self, new: JobState) -> None:
+        if new not in _LEGAL[self.state]:
+            raise JobStateError(
+                f"{self.job.job_id}: illegal transition "
+                f"{self.state.value} -> {new.value}"
+            )
+        self.state = new
+
+    @property
+    def queue_wait(self) -> float | None:
+        """Admission-to-start wait in modeled seconds (None until start)."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Per-job outcome the service returns (DESIGN.md §5i).
+
+    Records the scheduling story (shard, queue wait, autotune choice),
+    the warm-start story (hit/miss/cold, iterations saved vs the
+    sequence's cold anchor step) and the solver outcome.  ``chase`` is
+    the full :class:`~repro.core.ChaseResult` for DONE jobs (``None``
+    for cancelled/failed-before-solve jobs).
+    """
+
+    job_id: str
+    tenant: str
+    state: JobState
+    sequence_id: str | None = None
+    step: int = 0
+    shard: int | None = None
+    submit_time: float = 0.0
+    start_time: float | None = None
+    finish_time: float | None = None
+    queue_wait: float | None = None
+    makespan: float = 0.0
+    #: autotune decision for this job's shard ("default" when tuning off)
+    tuned_label: str = "default"
+    tuned_config: Any = None
+    #: "cold" (no sequence), "hit", or a typed miss ("miss:absent",
+    #: "miss:dimension", "miss:dtype", "miss:corrupt")
+    warmstart: str = "cold"
+    #: iterations this step saved vs the sequence's cold anchor step
+    #: (0 for cold starts and misses)
+    iterations_saved: int = 0
+    iterations: int = 0
+    matvecs: int = 0
+    #: MatVecs spent inside the Chebyshev filter only (the warm-start
+    #: acceptance metric — excludes RR/residual/Lanczos applies)
+    filter_matvecs: int = 0
+    converged: bool = False
+    eigenvalues: np.ndarray | None = None
+    residual_norms: np.ndarray | None = None
+    recoveries: int = 0
+    error: str | None = None
+    comm_stats: tuple = ()
+    chase: Any = None
+
+    @property
+    def warm_hit(self) -> bool:
+        return self.warmstart == "hit"

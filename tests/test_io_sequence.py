@@ -144,6 +144,49 @@ class TestEigenSequence:
         with pytest.raises(ValueError):
             solver.solve_next(uniform_matrix(70, rng=rng))
 
+    def test_refresh_extras_false_reuses_full_subspace_exactly(self, rng):
+        """Regression: with ``refresh_extras=False`` the next step's
+        starting block is the *full* previous ``N x ne`` subspace,
+        bit-identical — not eigenvectors padded with zero (rank-
+        deficient) buffer columns, as an earlier version produced."""
+        cfg = ChaseConfig(nev=8, nex=6)
+        solver = EigenSequenceSolver(
+            cfg, rng=np.random.default_rng(5), refresh_extras=False
+        )
+        H = self._sequence(rng, steps=1)[0]
+        res = solver.solve_next(H)
+        assert res.converged
+        carried = solver.basis
+        assert carried.shape == (H.shape[0], cfg.ne)
+        np.testing.assert_array_equal(carried, res.subspace)
+        # every column is a live direction (the old bug left nex zero
+        # columns) and the block is orthonormal
+        norms = np.linalg.norm(carried, axis=0)
+        assert np.all(norms > 0.5)
+        np.testing.assert_allclose(
+            carried.T @ carried, np.eye(cfg.ne), atol=1e-10
+        )
+        # the assembled V0 for the next step IS the carried block
+        V0 = solver._starting_basis(H.shape[0], H.dtype)
+        assert V0 is carried
+
+    def test_starting_basis_helper_validates(self, rng):
+        from repro.core.sequence import starting_basis
+
+        cfg = ChaseConfig(nev=4, nex=2)
+        basis = np.linalg.qr(rng.standard_normal((30, 6)))[0]
+        gen = np.random.default_rng(0)
+        assert starting_basis(None, 30, cfg, np.float64, gen) is None
+        with pytest.raises(ValueError, match="dimension"):
+            starting_basis(basis, 40, cfg, np.float64, gen)
+        with pytest.raises(ValueError, match="columns"):
+            starting_basis(basis[:, :3], 30, cfg, np.float64, gen)
+        # refresh keeps the nev leading columns, replaces the buffer
+        fresh = starting_basis(basis, 30, cfg, np.float64, gen,
+                               refresh_extras=True)
+        np.testing.assert_array_equal(fresh[:, :4], basis[:, :4])
+        assert not np.array_equal(fresh[:, 4:], basis[:, 4:])
+
     def test_reset_goes_cold(self, rng):
         solver = EigenSequenceSolver(
             ChaseConfig(nev=4, nex=2), rng=np.random.default_rng(3)
