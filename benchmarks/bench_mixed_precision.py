@@ -1,40 +1,49 @@
-"""Mixed-precision filter + compressed-collective benchmark (DESIGN.md §5g).
+"""Mixed-precision cascade + compressed-collective benchmark (§5g/§5j).
 
-Three experiments on the ISSUE's 2x4 NCCL grid:
+Four experiments on the ISSUE's 2x4 NCCL grid:
 
 * **phantom filter phase** — a paper-scale phantom replay (metadata-only
   buffers, cost model only) comparing the modeled Chebyshev filter-phase
-  time of the fp64 baseline against the condest-gated fp32 filter
-  (``ConvergenceTrace.fixed`` records ``cond_est = 1.0``, so the fp32
-  gate stays open for the whole replay — this isolates the *filter*
-  effect the acceptance target is stated over).  The fp32 filter halves
-  the HEMM word size (2x GEMM rate via ``dtype_rate_factor``) and halves
-  the allreduce payload behind it.
+  time of the fp64 baseline against the condest-gated narrow filters
+  (``ConvergenceTrace.fixed`` records ``cond_est = 1.0``, so every
+  tier's gate stays open for the whole replay — this isolates the
+  *filter* effect the acceptance targets are stated over).  fp32 halves
+  the HEMM word size; the emulated fp16/bf16 tiers charge 2-byte words
+  and the calibrated half GEMM rate (4x by default).
+* **phantom QR phase** — the same replay shape with the CholeskyQR2
+  records routed through the §5j mixed first pass
+  (``mCholeskyQR2[tier]``): narrow Gram + Cholesky + TRSM, fp64 second
+  pass, modeled QR-phase speedup per tier.
 * **compressed-collective bytes** — numeric pipelined HEMM applies
   measuring the exact allreduce byte volume per configuration: fp32
-  buffers move exactly 0.5x the fp64 bytes, and a bf16 wire payload on
-  fp32 buffers moves exactly 0.25x.  Per-communicator
+  buffers move exactly 0.5x the fp64 bytes, and a bf16 or fp16 wire
+  payload on fp32 buffers moves exactly 0.25x.  Per-communicator
   ``intra + inter == bytes_moved`` is asserted on every run.
-* **numeric solve** — a full solve where the precision policy actually
-  runs: fp32 filtering engages while the condition estimate allows,
-  promotes (sticky) on the residual floor, and the final eigenpairs are
+* **numeric solve** — full solves where the precision policy actually
+  runs: the narrow tiers engage while the condition estimate allows,
+  promote (sticky) on the residual floors, and the final eigenpairs are
   checked against a serial ``eigvalsh`` oracle at fp64 tolerance.  The
-  explicit ``fp64/none`` configuration is asserted bit-identical to the
-  ambient default (numerics, CommStats, makespan).
+  half cascade runs at ``deg=2`` (the iteration-1 condition estimate
+  grows with the planned degree; small degrees are where the half gates
+  are open).  The explicit ``fp64/none`` configuration is asserted
+  bit-identical to the ambient default (numerics, CommStats, makespan).
 
 Acceptance gates (recorded as ``target_met_*`` in a ``mixed_precision``
 section appended to ``BENCH_wallclock.json``):
 
 * modeled filter-phase speedup of the fp32 filter >= 1.3x;
+* modeled filter-phase speedup of the half cascade (bf16+bf16) >= 2.5x;
+* modeled QR-phase speedup of mixed CholeskyQR2 (fp16 first pass)
+  >= 1.3x;
 * filter allreduce bytes of the fp32+compressed configuration <= 0.5x
   the fp64 baseline (exact halving is expected).
 
 Run:  ``PYTHONPATH=src python benchmarks/bench_mixed_precision.py [--smoke]``
 
 ``--smoke`` (CI) shrinks the problem sizes and **gates**: it exits
-nonzero if either acceptance target is missed, if the fp64
-configuration is not bit-identical to the seed path, or if a
-mixed-precision solve misses fp64 accuracy.
+nonzero if any acceptance target is missed, if the fp64 configuration
+is not bit-identical to the seed path, or if a mixed-precision solve
+misses fp64 accuracy.
 """
 
 from __future__ import annotations
@@ -70,6 +79,8 @@ RESULT_PATH = RESULTS_DIR / "BENCH_mixed_precision.json"
 
 #: ISSUE acceptance targets (2x4 NCCL grid)
 TARGET_FILTER_SPEEDUP = 1.3
+TARGET_CASCADE_FILTER_SPEEDUP = 2.5
+TARGET_QR_SPEEDUP = 1.3
 TARGET_ALLREDUCE_BYTES_RATIO = 0.5
 
 #: (filter_dtype, comm_compress, pipelined) configurations exercised.
@@ -81,6 +92,8 @@ CONFIGS = (
     ("fp32", "none", False),
     ("fp32", "fp32", True),
     ("fp32", "bf16", True),
+    ("bf16", "bf16", True),
+    ("fp16", "fp16", True),
 )
 
 
@@ -165,6 +178,58 @@ def phantom_filter_point(N, nev, nex, deg, iters):
     point["target_met_filter_speedup"] = bool(
         point["speedup_modeled_filter_fp32"] >= TARGET_FILTER_SPEEDUP
     )
+    point["target_cascade_filter_speedup"] = TARGET_CASCADE_FILTER_SPEEDUP
+    point["target_met_cascade_filter_speedup"] = bool(
+        point["speedup_modeled_filter_bf16+bf16"]
+        >= TARGET_CASCADE_FILTER_SPEEDUP
+    )
+    return point
+
+
+# ---------------------------------------------------------------------------
+# phantom QR phase — mixed CholeskyQR2 modeled speedup
+# ---------------------------------------------------------------------------
+
+
+def phantom_qr_point(N, nev, nex, deg, iters):
+    """Modeled QR-phase time of CholeskyQR2 vs the §5j mixed variants.
+
+    The replay dispatches on the recorded variant string, exactly as a
+    tuned-config dry run does: ``mCholeskyQR2[tier]`` charges the
+    narrow Gram + Cholesky + TRSM first pass (2-byte words and the half
+    GEMM rate for fp16/bf16, plus the compressed Gram allreduce) and
+    the fp64 second pass.
+    """
+    def run(variant):
+        trace = ConvergenceTrace.fixed(
+            iters, nev + nex, deg=deg, qr_variant=variant)
+        solver = make_phantom_solver(2, N, nev, nex, CommBackend.NCCL)
+        return solver.solve_phantom(trace)
+
+    base = run("CholeskyQR2")
+    point = {
+        "kind": "phantom_qr",
+        "N": N,
+        "nev": nev,
+        "nex": nex,
+        "iterations": iters,
+        "grid": "2x4",
+        "backend": "nccl",
+        "modeled_qr_fp64_s": round(base.timings["QR"].total, 6),
+    }
+    for token in ("fp16", "bf16", "fp32"):
+        res = run(f"mCholeskyQR2[{token}]")
+        qtime = res.timings["QR"].total
+        point.update({
+            f"modeled_qr_{token}_s": round(qtime, 6),
+            f"speedup_modeled_qr_{token}": round(
+                base.timings["QR"].total / qtime, 3
+            ),
+        })
+    point["target_qr_speedup"] = TARGET_QR_SPEEDUP
+    point["target_met_qr_speedup"] = bool(
+        point["speedup_modeled_qr_fp16"] >= TARGET_QR_SPEEDUP
+    )
     return point
 
 
@@ -208,6 +273,7 @@ def comm_bytes_point(N, ne, p, q, chunks=4):
     b_fp32 = run(np.float32, "none")
     b_fp32_fp32 = run(np.float32, "fp32")
     b_fp32_bf16 = run(np.float32, "bf16")
+    b_fp32_fp16 = run(np.float32, "fp16")
     b_fp64_fp32 = run(np.float64, "fp32")  # gated off outside fp32 regime
 
     point = {
@@ -221,9 +287,11 @@ def comm_bytes_point(N, ne, p, q, chunks=4):
         "allreduce_bytes_fp32": int(b_fp32),
         "allreduce_bytes_fp32+fp32": int(b_fp32_fp32),
         "allreduce_bytes_fp32+bf16": int(b_fp32_bf16),
+        "allreduce_bytes_fp32+fp16": int(b_fp32_fp16),
         "ratio_fp32": round(b_fp32 / b_fp64, 6),
         "ratio_fp32+fp32": round(b_fp32_fp32 / b_fp64, 6),
         "ratio_fp32+bf16": round(b_fp32_bf16 / b_fp64, 6),
+        "ratio_fp32+fp16": round(b_fp32_fp16 / b_fp64, 6),
         "fp64_payload_gated_off": bool(b_fp64_fp32 == b_fp64),
         "target_allreduce_bytes_ratio": TARGET_ALLREDUCE_BYTES_RATIO,
         "target_met_allreduce_bytes": bool(
@@ -234,6 +302,7 @@ def comm_bytes_point(N, ne, p, q, chunks=4):
         "a compressed payload escaped the narrow-dtype gate!"
     assert b_fp32 * 2 == b_fp64, "fp32 buffers did not halve the bytes!"
     assert b_fp32_bf16 * 4 == b_fp64, "bf16 payload did not quarter the bytes!"
+    assert b_fp32_fp16 * 4 == b_fp64, "fp16 payload did not quarter the bytes!"
     return point
 
 
@@ -303,7 +372,7 @@ def solve_point(N, nev, nex, p, q, deg, repeats):
             and stats_amb == stats_seed
         ),
     }
-    for fdt, comp, pipelined in CONFIGS[1:]:
+    for fdt, comp, pipelined in CONFIGS[1:4]:
         label = _label(fdt, comp)
         wall, (res, _stats) = timed(fdt, comp, pipelined)
         err = float(np.abs(res.eigenvalues - oracle).max())
@@ -325,6 +394,31 @@ def solve_point(N, nev, nex, p, q, deg, repeats):
             f"{label}: the fp32 filter never engaged!"
     assert point["fp64_bit_identical_to_seed"], \
         "explicit fp64/none diverged from the ambient default!"
+
+    # half cascade: deg=2 keeps the iteration-1 condition estimate
+    # under the half-tier gates, so the narrow lattice actually filters
+    for fdt, comp, pipelined in CONFIGS[4:]:
+        label = _label(fdt, comp)
+        with _precision(fdt, comp, pipelined):
+            grid = _grid(p, q)
+            Hd = DistributedHermitian.from_dense(grid, H)
+            res = ChaseSolver(
+                grid, Hd, ChaseConfig(nev=nev, nex=nex, deg=2)
+            ).solve(rng=np.random.default_rng(7))
+        err = float(np.abs(res.eigenvalues - oracle).max())
+        point.update({
+            f"iterations_{label}": res.iterations,
+            f"half_filter_iterations_{label}":
+                res.precision_log.count(fdt),
+            f"converged_{label}": bool(res.converged),
+            f"max_dlambda_vs_oracle_{label}": err,
+            f"accurate_at_fp64_tol_{label}": bool(err <= 1e-8 * scale),
+        })
+        assert point[f"converged_{label}"], f"{label} solve did not converge!"
+        assert point[f"accurate_at_fp64_tol_{label}"], \
+            f"{label} solve missed fp64 accuracy!"
+        assert point[f"half_filter_iterations_{label}"] > 0, \
+            f"{label}: the half-tier filter never engaged!"
     return point
 
 
@@ -358,19 +452,30 @@ def main(argv=None) -> None:
         f"phantom filter  N={pt_phantom['N']} grid=2x4 nccl  "
         f"fp32 x{pt_phantom['speedup_modeled_filter_fp32']:.2f}  "
         f"fp32+fp32 x{pt_phantom['speedup_modeled_filter_fp32+fp32']:.2f}  "
-        f"fp32+bf16 x{pt_phantom['speedup_modeled_filter_fp32+bf16']:.2f}"
+        f"bf16+bf16 x{pt_phantom['speedup_modeled_filter_bf16+bf16']:.2f}  "
+        f"fp16+fp16 x{pt_phantom['speedup_modeled_filter_fp16+fp16']:.2f}"
+    )
+    pt_qr = phantom_qr_point(*phantom)
+    print(
+        f"phantom QR      N={pt_qr['N']} grid=2x4 nccl  "
+        f"mixed fp16 x{pt_qr['speedup_modeled_qr_fp16']:.2f}  "
+        f"bf16 x{pt_qr['speedup_modeled_qr_bf16']:.2f}  "
+        f"fp32 x{pt_qr['speedup_modeled_qr_fp32']:.2f}"
     )
     pt_comm = comm_bytes_point(*comm)
     print(
         f"allreduce bytes N={pt_comm['N']} grid=2x4 nccl  "
         f"fp32 x{pt_comm['ratio_fp32']:.3f}  "
         f"fp32+fp32 x{pt_comm['ratio_fp32+fp32']:.3f}  "
-        f"fp32+bf16 x{pt_comm['ratio_fp32+bf16']:.3f}"
+        f"fp32+bf16 x{pt_comm['ratio_fp32+bf16']:.3f}  "
+        f"fp32+fp16 x{pt_comm['ratio_fp32+fp16']:.3f}"
     )
     pt_solve = solve_point(*solve, repeats)
     print(
         f"numeric solve   N={pt_solve['N']} grid=2x4 nccl  "
         f"fp32 engaged {pt_solve['fp32_filter_iterations_fp32']} iter(s), "
+        f"bf16 engaged "
+        f"{pt_solve['half_filter_iterations_bf16+bf16']} iter(s), "
         f"err {pt_solve['max_dlambda_vs_oracle_fp32']:.2e}, "
         f"fp64 bit-identical: {pt_solve['fp64_bit_identical_to_seed']}"
     )
@@ -379,22 +484,30 @@ def main(argv=None) -> None:
         "benchmark": "mixed_precision",
         "smoke": bool(args.smoke),
         "description": (
-            "Condest-gated fp32 Chebyshev filter + compressed "
-            "collectives (DESIGN.md §5g) on the 2x4 NCCL grid.  The "
-            "phantom point isolates the modeled filter-phase speedup; "
-            "the comm point measures exact allreduce byte ratios of "
-            "the pipelined filter reductions; the numeric point runs "
-            "the promotion policy in the loop and checks eigenpairs "
-            "against a serial oracle at fp64 tolerance."
+            "Condest-gated three-precision Chebyshev cascade + mixed "
+            "CholeskyQR2 + compressed collectives (DESIGN.md §5g/§5j) "
+            "on the 2x4 NCCL grid.  The phantom points isolate the "
+            "modeled filter- and QR-phase speedups; the comm point "
+            "measures exact allreduce byte ratios of the pipelined "
+            "filter reductions; the numeric point runs the promotion "
+            "policy in the loop and checks eigenpairs against a "
+            "serial oracle at fp64 tolerance."
         ),
         "target_filter_speedup": TARGET_FILTER_SPEEDUP,
+        "target_cascade_filter_speedup": TARGET_CASCADE_FILTER_SPEEDUP,
+        "target_qr_speedup": TARGET_QR_SPEEDUP,
         "target_allreduce_bytes_ratio": TARGET_ALLREDUCE_BYTES_RATIO,
         "phantom_filter": pt_phantom,
+        "phantom_qr": pt_qr,
         "comm_bytes": pt_comm,
         "solve": pt_solve,
         "target_met_filter_speedup": bool(
             pt_phantom["target_met_filter_speedup"]
         ),
+        "target_met_cascade_filter_speedup": bool(
+            pt_phantom["target_met_cascade_filter_speedup"]
+        ),
+        "target_met_qr_speedup": bool(pt_qr["target_met_qr_speedup"]),
         "target_met_allreduce_bytes": bool(
             pt_comm["target_met_allreduce_bytes"]
         ),
@@ -416,7 +529,12 @@ def main(argv=None) -> None:
         f"'mixed_precision') and {RESULT_PATH}\n"
         f"modeled filter speedup (fp32, 2x4 nccl): "
         f"x{pt_phantom['speedup_modeled_filter_fp32']:.2f} "
-        f"(target >= x{TARGET_FILTER_SPEEDUP})\n"
+        f"(target >= x{TARGET_FILTER_SPEEDUP}); half cascade "
+        f"x{pt_phantom['speedup_modeled_filter_bf16+bf16']:.2f} "
+        f"(target >= x{TARGET_CASCADE_FILTER_SPEEDUP})\n"
+        f"modeled QR speedup (mixed fp16 first pass): "
+        f"x{pt_qr['speedup_modeled_qr_fp16']:.2f} "
+        f"(target >= x{TARGET_QR_SPEEDUP})\n"
         f"allreduce bytes (fp32+compressed): "
         f"x{pt_comm['ratio_fp32+fp32']:.3f} "
         f"(target <= x{TARGET_ALLREDUCE_BYTES_RATIO}); "
@@ -430,6 +548,18 @@ def main(argv=None) -> None:
                 f"modeled filter speedup "
                 f"x{pt_phantom['speedup_modeled_filter_fp32']:.3f} "
                 f"< x{TARGET_FILTER_SPEEDUP}"
+            )
+        if not section["target_met_cascade_filter_speedup"]:
+            failed.append(
+                f"modeled cascade filter speedup "
+                f"x{pt_phantom['speedup_modeled_filter_bf16+bf16']:.3f} "
+                f"< x{TARGET_CASCADE_FILTER_SPEEDUP}"
+            )
+        if not section["target_met_qr_speedup"]:
+            failed.append(
+                f"modeled mixed-QR speedup "
+                f"x{pt_qr['speedup_modeled_qr_fp16']:.3f} "
+                f"< x{TARGET_QR_SPEEDUP}"
             )
         if not section["target_met_allreduce_bytes"]:
             failed.append(

@@ -39,6 +39,7 @@ from repro.distributed import (
     filter_dtype_scope,
     filter_pipeline,
     filter_pipeline_chunks,
+    qr_dtype_scope,
 )
 from repro.matrices import TABLE1, build_problem, uniform_matrix
 from repro.reporting import render_series, render_table
@@ -69,7 +70,8 @@ def _split_backend(token: str):
 
 
 def _precision_stack(args):
-    """Context stack applying explicit --filter-dtype/--comm-compress.
+    """Context stack applying explicit --filter-dtype/--qr-dtype/
+    --comm-compress.
 
     Flags default to ``None`` so an unset flag leaves the ambient
     toggles alone — in particular ``--tuned`` winners carrying a
@@ -80,6 +82,8 @@ def _precision_stack(args):
     stack = contextlib.ExitStack()
     if getattr(args, "filter_dtype", None) is not None:
         stack.enter_context(filter_dtype_scope(args.filter_dtype))
+    if getattr(args, "qr_dtype", None) is not None:
+        stack.enter_context(qr_dtype_scope(args.qr_dtype))
     if getattr(args, "comm_compress", None) is not None:
         stack.enter_context(comm_compress_scope(args.comm_compress))
     return stack
@@ -191,11 +195,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     else:
         res = chase_serial(H, cfg, rng=rng)
     plog = getattr(res, "precision_log", None)
-    if plog and "fp32" in plog:
+    narrow = [t for t in (plog or ()) if t != "fp64"]
+    if narrow:
         reason = res.precision_promote_reason
         promoted = f", promoted to fp64 ({reason})" if reason else ""
-        print(f"mixed precision: fp32 filter on "
-              f"{plog.count('fp32')}/{len(plog)} iterations{promoted}")
+        cascade = "/".join(
+            f"{plog.count(t)}x{t}" for t in ("fp16", "bf16", "fp32")
+            if t in plog
+        )
+        print(f"mixed precision: {cascade} filter on "
+              f"{len(narrow)}/{len(plog)} iterations{promoted}")
     print(f"converged: {res.converged} in {res.iterations} iterations, "
           f"{res.matvecs} MatVecs")
     print(f"QR variants: {res.qr_variants}")
@@ -304,11 +313,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     )
 
     nex = args.nex if args.nex is not None else max(2, args.nev // 2)
-    candidates = None
     if getattr(args, "precision", False):
+        # autotune's default candidate set already spans the precision
+        # ladder (DEFAULT_PRECISION_OPTIONS); --precision just opts in
         candidates = enumerate_candidates(
             args.ranks, precision_options=DEFAULT_PRECISION_OPTIONS
         )
+    else:
+        # the plain tune table stays fp64-only: compact, fast, and its
+        # ranking is unchanged from earlier releases
+        candidates = enumerate_candidates(args.ranks)
     report = autotune(
         args.ranks, args.n, args.nev, nex,
         backend=_split_backend(args.backend)[0],
@@ -526,11 +540,20 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--topology", choices=("auto",), default=None,
                    help="attach a fat-tree interconnect for hop-aware "
                         "collective costing (DESIGN.md §5e)")
-    s.add_argument("--filter-dtype", choices=("fp64", "fp32"), default=None,
-                   dest="filter_dtype",
+    s.add_argument("--filter-dtype",
+                   choices=("fp16", "bf16", "fp32", "fp64", "auto"),
+                   default=None, dest="filter_dtype",
                    help="Chebyshev filter working precision (DESIGN.md "
-                        "§5g); fp32 enables condest-gated mixed precision")
-    s.add_argument("--comm-compress", choices=("none", "fp32", "bf16"),
+                        "§5j); a narrow tier starts the condest-gated "
+                        "cascade (auto = bf16 -> fp32 -> fp64)")
+    s.add_argument("--qr-dtype",
+                   choices=("fp16", "bf16", "fp32", "fp64", "auto"),
+                   default=None, dest="qr_dtype",
+                   help="mixed CholeskyQR2 first-pass precision "
+                        "(DESIGN.md §5j); admitted per call by the "
+                        "doubling bound on the condition estimate")
+    s.add_argument("--comm-compress",
+                   choices=("none", "fp32", "bf16", "fp16"),
                    default=None, dest="comm_compress",
                    help="compressed allreduce payload dtype for the "
                         "filter's pipelined reductions")

@@ -36,8 +36,20 @@ from repro.core.degrees import optimize_degrees, sort_by_degree
 from repro.core.filter import FilterWorkspace, chebyshev_filter
 from repro.core.lanczos import SpectralBounds, lanczos_bounds, lanczos_ritz
 from repro.core.locking import plan_locking
-from repro.core.precision import PrecisionPolicy, narrow_dtype, resolve_work_dtype
-from repro.core.qr import QRReport, caqr_1d, cholesky_qr, shifted_cholesky_qr2
+from repro.core.precision import (
+    PrecisionPolicy,
+    narrow_dtype,
+    resolve_work_dtype,
+    resolve_work_precision,
+)
+from repro.core.qr import (
+    QRReport,
+    caqr_1d,
+    cholesky_qr,
+    mixed_cholesky_qr2,
+    qr_work_precision,
+    shifted_cholesky_qr2,
+)
 from repro.core.rayleigh_ritz import rayleigh_ritz
 from repro.core.residuals import residuals
 from repro.core.trace import ConvergenceTrace, IterationRecord
@@ -170,9 +182,18 @@ class ChaseSolver:
         dev_bytes = cluster.ranks[0].gpu_spec.memory_bytes
         N, ne = self.H.N, self.cfg.ne
         # mixed precision keeps a narrow working set alive next to the
-        # fp64 state; size it into the boundary when fp32 filtering is on
-        wdt = (narrow_dtype(self.H.dtype)
-               if replication.filter_dtype() == "fp32" else None)
+        # fp64 state; size it into the boundary when narrow filtering is
+        # on.  Half tiers pass their token so the memory model charges
+        # genuine 2-byte words (the fp32 emulation storage is an
+        # artifact, not the modeled hardware footprint); "auto" starts
+        # on bf16, its widest-case narrow working set.
+        fdt = replication.filter_dtype()
+        if fdt == "fp64":
+            wdt = None
+        elif fdt == "fp32":
+            wdt = narrow_dtype(self.H.dtype)
+        else:
+            wdt = "bf16" if fdt == "auto" else fdt
         if self.scheme == "lms":
             need = chase_lms_bytes(
                 N, ne, cluster.n_nodes, cluster.ranks_per_node
@@ -214,8 +235,13 @@ class ChaseSolver:
     # ------------------------------------------------------------------- QR
     def _qr_step(self, C: DistributedMultiVector, cond: float) -> QRReport:
         grid = self.grid
+        # mixed-precision first pass (DESIGN.md §5j): the requested QR
+        # work precision is admitted per call by the doubling gate on
+        # the same cond estimate that picks the variant.  qr_dtype()
+        # defaults to "fp64", where qwork is None and nothing changes.
+        qwork = qr_work_precision(self.H.dtype, replication.qr_dtype(), cond)
         if self.qr_mode == "auto":
-            return caqr_1d(grid, C, cond)
+            return caqr_1d(grid, C, cond, work=qwork)
         report = QRReport()
         if self.qr_mode == "hhqr":
             report.variant = "HHQR"
@@ -226,10 +252,16 @@ class ChaseSolver:
                 report.variant = "sCholeskyQR2"
                 shifted_cholesky_qr2(grid, C, report)
         elif self.qr_mode == "cholqr2":
-            report.variant = "CholeskyQR2"
-            if cholesky_qr(grid, C, 2, report):
-                report.variant = "sCholeskyQR2"
-                shifted_cholesky_qr2(grid, C, report)
+            if qwork is not None:
+                report.variant = f"mCholeskyQR2[{qwork.token}]"
+                if mixed_cholesky_qr2(grid, C, report, qwork):
+                    report.variant = "sCholeskyQR2"
+                    shifted_cholesky_qr2(grid, C, report)
+            else:
+                report.variant = "CholeskyQR2"
+                if cholesky_qr(grid, C, 2, report):
+                    report.variant = "sCholeskyQR2"
+                    shifted_cholesky_qr2(grid, C, report)
         else:  # scholqr2
             report.variant = "sCholeskyQR2"
             shifted_cholesky_qr2(grid, C, report)
@@ -895,6 +927,9 @@ class ChaseSolver:
                 scale=res_scale,
             )
             wdtype = resolve_work_dtype(H.dtype, token)
+            # the decide() inputs go into the iteration record so a
+            # phantom replay reproduces this cascade (DESIGN.md §5j)
+            rmin_in = None if resd is None else float(np.min(resd[locked:]))
 
             with tracer.phase("Filter"):
                 mv = chebyshev_filter(
@@ -954,6 +989,8 @@ class ChaseSolver:
                     qr_variant=report.variant,
                     cond_est=cond,
                     matvecs=mv,
+                    resd_min=rmin_in,
+                    res_scale=res_scale,
                 )
             )
             locked = lock.locked
@@ -1073,15 +1110,22 @@ class ChaseSolver:
         e = (bounds.b_sup - bounds.mu_ne) / 2.0
 
         # phantom replays drive the precision policy off the recorded
-        # per-iteration condition estimates (no residuals exist), so the
-        # autotuner's modeled makespans see the same fp32/fp64 schedule
-        # cond-gating would produce on the real trace
+        # decide() inputs — the per-iteration condition estimate plus
+        # (when the trace was recorded by a numeric solve) the previous
+        # iteration's smallest active residual and the spectral scale —
+        # so the autotuner's modeled makespans see the same precision
+        # cascade the policy would produce on the real run.  Synthetic
+        # traces carry no residuals and replay cond-gated only.
         policy = PrecisionPolicy()
         total_mv = 0
         for rec in trace.records:
             locked = rec.locked_before
             degs = np.sort(np.asarray(rec.degrees, dtype=np.int64))
-            token = policy.decide(cond_est=rec.cond_est)
+            token = policy.decide(
+                cond_est=rec.cond_est,
+                resd=None if rec.resd_min is None else (rec.resd_min,),
+                scale=rec.res_scale,
+            )
             wdtype = resolve_work_dtype(H.dtype, token)
             with tracer.phase("Filter"):
                 total_mv += chebyshev_filter(
@@ -1099,6 +1143,14 @@ class ChaseSolver:
                         hhqr_1d(grid, C)
                     elif rec.qr_variant == "sCholeskyQR2":
                         shifted_cholesky_qr2(grid, C, report)
+                    elif rec.qr_variant.startswith("mCholeskyQR2["):
+                        # replay the mixed first pass at the recorded tier
+                        qtok = rec.qr_variant[len("mCholeskyQR2["):-1]
+                        qwork = resolve_work_precision(H.dtype, qtok)
+                        if qwork is None:
+                            cholesky_qr(grid, C, 2, report)
+                        else:
+                            mixed_cholesky_qr2(grid, C, report, qwork)
                     elif rec.qr_variant == "CholeskyQR1":
                         cholesky_qr(grid, C, 1, report)
                     else:

@@ -29,6 +29,13 @@ class IterationRecord:
     qr_variant: str              # "CholeskyQR1"/"CholeskyQR2"/"sCholeskyQR2"/"HHQR"
     cond_est: float
     matvecs: int = 0
+    # inputs of the precision policy's decide() at this iteration
+    # (DESIGN.md §5j): the smallest active residual of the *previous*
+    # iteration (None on the first) and the spectral scale.  Recording
+    # the decision INPUTS — not the decided token — lets a phantom
+    # replay reproduce the precision cascade under any policy mode.
+    resd_min: float | None = None
+    res_scale: float = 1.0
 
     @property
     def locked_after(self) -> int:
@@ -105,6 +112,8 @@ class ConvergenceTrace:
                     qr_variant=rec.qr_variant,
                     cond_est=rec.cond_est,
                     matvecs=int(degs.sum()),
+                    resd_min=rec.resd_min,
+                    res_scale=rec.res_scale,
                 )
             )
         return out

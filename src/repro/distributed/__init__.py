@@ -26,11 +26,14 @@ from repro.distributed.replication import (
     hemm_fusion_enabled,
     numeric_dedup,
     numeric_dedup_enabled,
+    qr_dtype,
+    qr_dtype_scope,
     set_comm_compress,
     set_filter_dtype,
     set_filter_pipeline,
     set_hemm_fusion,
     set_numeric_dedup,
+    set_qr_dtype,
 )
 from repro.distributed.multivector import DistributedMultiVector
 from repro.distributed.hemm import DistributedHemm
@@ -58,6 +61,9 @@ __all__ = [
     "filter_dtype",
     "set_filter_dtype",
     "filter_dtype_scope",
+    "qr_dtype",
+    "set_qr_dtype",
+    "qr_dtype_scope",
     "comm_compress",
     "set_comm_compress",
     "comm_compress_scope",

@@ -67,7 +67,7 @@ from repro.distributed.block import overlap_pairs
 from repro.distributed.hermitian import DistributedHermitian
 from repro.distributed.multivector import DistributedMultiVector
 from repro.perfmodel.collectives import payload_ratio
-from repro.perfmodel.kernels import bytes_per_scalar
+from repro.perfmodel.kernels import bytes_per_scalar, elem_bytes
 from repro.runtime import executor
 from repro.runtime.device import LocalKernels, axpy_into_numeric
 
@@ -208,7 +208,7 @@ class DistributedHemm:
             self._overlaps[(i, j)] = pairs
         return pairs
 
-    def _local_work(self, i: int, j: int, rdtype):
+    def _local_work(self, i: int, j: int, rdtype, tier: str | None = None):
         """``H.local(i, j)`` in the apply's working dtype.
 
         The seed (full-width) path returns the block itself.  A narrow
@@ -216,21 +216,31 @@ class DistributedHemm:
         instead: the cast runs once per block per ``H.version`` and
         charges the owning rank one :meth:`LocalKernels.cast` at build
         time — the model keeps the narrow copy resident thereafter
-        (see ``perfmodel.memory.chase_new_scheme_bytes``).
+        (see ``perfmodel.memory.chase_new_scheme_bytes``).  A half
+        ``tier`` keys a *separate* cached cast whose values are rounded
+        to the fp16/bf16 lattice and whose build streams 2-byte words.
         """
         Hij = self.H.local(i, j)
         rdt = np.dtype(rdtype)
         if bytes_per_scalar(rdt) >= bytes_per_scalar(self.H.dtype):
             return Hij
         wdt = _NARROW.get(np.dtype(self.H.dtype))
-        key = (i, j, wdt.str)
+        key = (i, j, wdt.str) if tier is None else (i, j, wdt.str, tier)
         cached = self._hwork.get(key)
         if cached is None:
-            cached = self.grid.rank_at(i, j).k.cast(Hij, wdt)
+            charge_elem = None
+            if tier is not None:
+                charge_elem = (float(np.dtype(self.H.dtype).itemsize),
+                               elem_bytes(tier, like=self.H.dtype))
+            cached = self.grid.rank_at(i, j).k.cast(
+                Hij, wdt, elem_bytes=charge_elem)
+            if tier is not None and not is_phantom(cached):
+                from repro.core.precision import quantize_half_inplace
+                quantize_half_inplace(cached, tier)
             self._hwork[key] = cached
         return cached
 
-    def _h_conj(self, i: int, j: int, rdtype=None):
+    def _h_conj(self, i: int, j: int, rdtype=None, tier: str | None = None):
         """Work-dtype ``H`` block conjugate, cached for complex numerics.
 
         The gemm for the C->B direction evaluates ``A.conj().T @ X``;
@@ -242,12 +252,13 @@ class DistributedHemm:
         promote/demote can never hand back the wrong-width block.
         """
         Hij = self.H.local(i, j) if rdtype is None \
-            else self._local_work(i, j, rdtype)
+            else self._local_work(i, j, rdtype, tier)
         if is_phantom(Hij) or np.dtype(self.H.dtype).kind != "c":
             return None  # .conj() is free (a view) for real ndarrays
         if not replication.numeric_dedup_enabled():
             return None
-        key = (i, j, np.dtype(Hij.dtype).str)
+        key = (i, j, np.dtype(Hij.dtype).str) if tier is None \
+            else (i, j, np.dtype(Hij.dtype).str, tier)
         cached = self._hconj.get(key)
         if cached is None:
             cached = Hij.conj()
@@ -264,21 +275,22 @@ class DistributedHemm:
             self._offsets = offs
         return self._offsets
 
-    def _row_panel(self, i: int, rdtype=None) -> np.ndarray:
+    def _row_panel(self, i: int, rdtype=None,
+                   tier: str | None = None) -> np.ndarray:
         """``[H_i0 | ... | H_i,q-1]`` — the grid row's blocks, stacked.
 
-        Cached per (row, dtype): a narrow apply stacks the cached
+        Cached per (row, dtype, tier): a narrow apply stacks the cached
         work-dtype casts (charging their one-time cast builds), a
         full-width apply the blocks themselves.
         """
         rdt = np.dtype(rdtype if rdtype is not None else self.H.dtype)
         narrow = bytes_per_scalar(rdt) < bytes_per_scalar(self.H.dtype)
         pdt = _NARROW[np.dtype(self.H.dtype)] if narrow else np.dtype(self.H.dtype)
-        key = (i, pdt.str)
+        key = (i, pdt.str) if tier is None else (i, pdt.str, tier)
         P = self._panels.get(key)
         if P is None:
             blocks = [
-                np.asarray(self._local_work(i, j, rdt) if narrow
+                np.asarray(self._local_work(i, j, rdt, tier) if narrow
                            else self.H.local(i, j))
                 for j in range(self.grid.q)
             ]
@@ -286,12 +298,13 @@ class DistributedHemm:
             self._panels[key] = P
         return P
 
-    def _row_panel_conj(self, i: int, rdtype=None) -> np.ndarray:
+    def _row_panel_conj(self, i: int, rdtype=None,
+                        tier: str | None = None) -> np.ndarray:
         """Elementwise conjugate of the fused row panel (complex C->B)."""
         if np.dtype(self.H.dtype).kind != "c":
-            return self._row_panel(i, rdtype)
-        P0 = self._row_panel(i, rdtype)
-        key = (i, P0.dtype.str)
+            return self._row_panel(i, rdtype, tier)
+        P0 = self._row_panel(i, rdtype, tier)
+        key = (i, P0.dtype.str) if tier is None else (i, P0.dtype.str, tier)
         P = self._panels_conj.get(key)
         if P is None:
             P = P0.conj()
@@ -315,6 +328,7 @@ class DistributedHemm:
         gamma: float = 0.0,
         out: DistributedMultiVector | None = None,
         pipeline: bool = False,
+        work_tier: str | None = None,
     ) -> DistributedMultiVector:
         """``alpha (H - gamma I) X[:, cols]`` in the *opposite* layout.
 
@@ -330,6 +344,15 @@ class DistributedHemm:
         ``repro.distributed.replication.filter_pipeline`` is also on,
         the apply runs the chunked nonblocking tier
         (:meth:`_apply_pipelined`, DESIGN.md §5d).
+
+        ``work_tier`` (``"fp16"``/``"bf16"``, DESIGN.md §5j) marks the
+        apply as an emulated half-tier pass: the H blocks are cast into
+        tier-keyed lattice-rounded caches, the GEMMs are charged at the
+        tier's throughput, and pipeline-eligible reductions carry the
+        tier's 2-byte words on the wire (with wide accumulation, as a
+        NCCL half allreduce does).  BLAS-1 shift/scale terms stay
+        charged at the fp32 storage width — a deliberate conservative
+        bound.  ``None`` is the exact pre-tier behaviour.
         """
         grid = self.grid
         H = self.H
@@ -351,6 +374,11 @@ class DistributedHemm:
         # must widen with it or residuals plateau above fp64 tolerance
         payload = replication.comm_compress() if pipeline else "none"
         payload = None if payload == "none" else payload
+        if work_tier is not None and pipeline:
+            # a half-tier apply puts the tier's 2-byte words on the wire
+            # regardless of the compression switch (it is never wider
+            # than any compression payload)
+            payload = work_tier
         if payload is not None and (
             bytes_per_scalar(rdtype)
             >= bytes_per_scalar(np.result_type(H.dtype, X.dtype))
@@ -363,34 +391,38 @@ class DistributedHemm:
         if pipeline and replication.filter_pipeline_enabled() and width >= 2:
             return self._apply_pipelined(
                 X, cols, width, to_b, alpha, gamma, out,
-                dedup and numeric_h, fused, rdtype, payload,
+                dedup and numeric_h, fused, rdtype, payload, work_tier,
             )
         if dedup and numeric_h and (
             fused or out is not None or executor.kernel_workers() > 1
         ):
             return self._apply_decoupled(
-                X, cols, width, to_b, alpha, gamma, out, fused, rdtype, payload
+                X, cols, width, to_b, alpha, gamma, out, fused, rdtype,
+                payload, work_tier,
             )
 
         contrib: dict[tuple[int, int], object] = {}
         for i in range(grid.p):
             for j in range(grid.q):
                 rank = grid.rank_at(i, j)
-                Hij = self._local_work(i, j, rdtype)
+                Hij = self._local_work(i, j, rdtype, work_tier)
                 Xblk = X.local(i, j)
                 Xcols = Xblk.cols(cols.start, cols.stop) if is_phantom(Xblk) \
                     else Xblk[:, cols]
                 if to_b:
-                    Hc = self._h_conj(i, j, rdtype)
+                    Hc = self._h_conj(i, j, rdtype, work_tier)
                     if Hc is not None:
                         # same flops/charge as op_a="C" (gemm_flops is
                         # symmetric in the m/k swap); operand layout
                         # matches the per-call Hij.conj() temporary
-                        W = rank.k.gemm(Hc.T, Xcols, op_a="N", kind="hemm")
+                        W = rank.k.gemm(Hc.T, Xcols, op_a="N", kind="hemm",
+                                        charge_dtype=work_tier)
                     else:
-                        W = rank.k.gemm(Hij, Xcols, op_a="C", kind="hemm")
+                        W = rank.k.gemm(Hij, Xcols, op_a="C", kind="hemm",
+                                        charge_dtype=work_tier)
                 else:
-                    W = rank.k.gemm(Hij, Xcols, op_a="N", kind="hemm")
+                    W = rank.k.gemm(Hij, Xcols, op_a="N", kind="hemm",
+                                    charge_dtype=work_tier)
                 if gamma != 0.0:
                     for rsl, csl in self._pairs(i, j):
                         if to_b:
@@ -445,7 +477,7 @@ class DistributedHemm:
         return out
 
     def _apply_decoupled(self, X, cols, width, to_b, alpha, gamma, out, fused,
-                         rdtype, payload):
+                         rdtype, payload, tier=None):
         """Charge-first, compute-second execution of an aliased apply.
 
         Pass 1 issues, on the main thread and in the exact seed order,
@@ -466,10 +498,11 @@ class DistributedHemm:
         for i in range(p):
             for j in range(q):
                 rank = grid.rank_at(i, j)
-                Hij = self._local_work(i, j, rdtype)
+                Hij = self._local_work(i, j, rdtype, tier)
                 Xb = X.local(i, j)[:, cols]
                 rank.k.gemm(
-                    Hij, Xb, op_a="C" if to_b else "N", kind="hemm", compute=False
+                    Hij, Xb, op_a="C" if to_b else "N", kind="hemm",
+                    compute=False, charge_dtype=tier,
                 )
                 rows = Hij.shape[1] if to_b else Hij.shape[0]
                 if gamma != 0.0:
@@ -489,11 +522,11 @@ class DistributedHemm:
         # ---- pass 2: numerics (closures) + reductions ----
         if fused:
             blocks, base = self._numeric_fused(
-                X, cols, width, to_b, alpha, gamma, out, rdtype, payload
+                X, cols, width, to_b, alpha, gamma, out, rdtype, payload, tier
             )
         else:
             blocks, base = self._numeric_per_block(
-                X, cols, width, to_b, alpha, gamma, out, rdtype, payload
+                X, cols, width, to_b, alpha, gamma, out, rdtype, payload, tier
             )
         result = DistributedMultiVector(
             grid, out_map, out_layout, width, blocks, rdtype, aliased=True
@@ -502,7 +535,7 @@ class DistributedHemm:
         return result
 
     def _numeric_fused(self, X, cols, width, to_b, alpha, gamma, out, rdtype,
-                       payload=None):
+                       payload=None, tier=None):
         """Fused-panel numerics: one GEMM per grid row."""
         grid = self.grid
         p, q = grid.p, grid.q
@@ -510,7 +543,7 @@ class DistributedHemm:
 
         if to_b:
             panels, base = self._fused_cb_panels(
-                X, cols, width, alpha, gamma, out, rdtype
+                X, cols, width, alpha, gamma, out, rdtype, tier
             )
             roots = {}
             for j in range(q):
@@ -521,7 +554,9 @@ class DistributedHemm:
             blocks = self._fused_cb_blocks(roots, base, out)
             return blocks, base
 
-        tgts = self._fused_bc_targets(X, cols, width, alpha, gamma, out, rdtype)
+        tgts = self._fused_bc_targets(
+            X, cols, width, alpha, gamma, out, rdtype, tier
+        )
         for i in range(p):
             grid.row_comm(i).allreduce([tgts[i]] * q, compute=False,
                                        payload_dtype=payload)
@@ -529,7 +564,8 @@ class DistributedHemm:
         base = out.stacked_base if out is not None else None
         return blocks, base
 
-    def _fused_cb_panels(self, X, cols, width, alpha, gamma, out, rdtype):
+    def _fused_cb_panels(self, X, cols, width, alpha, gamma, out, rdtype,
+                         tier=None):
         """C -> B partial panels: per row ``i`` one ``(sum n_c) x width``
         panel of all ``q`` partial products; the column allreduces then
         sum the panel row-slices exactly as the seed path sums W_ij."""
@@ -543,7 +579,7 @@ class DistributedHemm:
         calls = []
         panels = []
         for i in range(p):
-            P = self._row_panel_conj(i, rdtype)
+            P = self._row_panel_conj(i, rdtype, tier)
             if i == 0:
                 tgt = base if base is not None \
                     else np.empty((offs[-1], width), rdtype)
@@ -573,7 +609,8 @@ class DistributedHemm:
                 roots[j] = out.blocks[(0, j)]
         return {(i, j): roots[j] for i in range(p) for j in range(q)}
 
-    def _fused_bc_targets(self, X, cols, width, alpha, gamma, out, rdtype):
+    def _fused_bc_targets(self, X, cols, width, alpha, gamma, out, rdtype,
+                          tier=None):
         """B -> C fused numerics: stack the q unique input blocks once,
         contract them with the cached row panel in one GEMM per row —
         the reduction sum lives in the GEMM's k-dimension, so the row
@@ -586,7 +623,7 @@ class DistributedHemm:
         calls = []
         tgts = []
         for i in range(p):
-            P = self._row_panel(i, rdtype)
+            P = self._row_panel(i, rdtype, tier)
             if out is not None:
                 tgt = out.blocks[(i, 0)]
             else:
@@ -605,7 +642,7 @@ class DistributedHemm:
         return tgts
 
     def _block_partials(self, X, cols, width, to_b, alpha, gamma, out, rdtype,
-                        *, persistent: bool = False):
+                        tier=None, *, persistent: bool = False):
         """Seed-granularity partial products as executor closures.
 
         One closure per grid block, arithmetic identical to the seed
@@ -622,14 +659,14 @@ class DistributedHemm:
         partials = {}
         for i in range(p):
             for j in range(q):
-                Hij = self._local_work(i, j, rdtype)
+                Hij = self._local_work(i, j, rdtype, tier)
                 stable_h = True  # cached operand, content-stable per H.version
                 if to_b:
                     if complex_h:
                         # cached conj for complex (exact seed operand
                         # layout); falls back to the per-call conj
                         # temporary when the dedup switch is off
-                        Hc = self._h_conj(i, j, rdtype)
+                        Hc = self._h_conj(i, j, rdtype, tier)
                         if Hc is not None:
                             Hop = Hc
                         else:
@@ -665,7 +702,7 @@ class DistributedHemm:
         return partials
 
     def _numeric_per_block(self, X, cols, width, to_b, alpha, gamma, out, rdtype,
-                           payload=None):
+                           payload=None, tier=None):
         """Seed-granularity numerics (partials + shared reductions).
 
         Used when fusion is off but an ``out`` buffer or a worker pool
@@ -674,7 +711,7 @@ class DistributedHemm:
         grid = self.grid
         p, q = grid.p, grid.q
         partials = self._block_partials(
-            X, cols, width, to_b, alpha, gamma, out, rdtype
+            X, cols, width, to_b, alpha, gamma, out, rdtype, tier
         )
 
         blocks = {}
@@ -698,7 +735,8 @@ class DistributedHemm:
         return blocks, base
 
     # -- pipelined (chunked nonblocking) execution -----------------------------------
-    def _apply_times(self, to_b, width, alpha, gamma, rdtype) -> dict:
+    def _apply_times(self, to_b, width, alpha, gamma, rdtype,
+                     tier=None) -> dict:
         """Per-rank full-width COMPUTE time of one apply, in model seconds.
 
         Replays the seed tier's per-block charge sequence — GEMM,
@@ -715,7 +753,7 @@ class DistributedHemm:
         does) and cached per (direction, width, shift/scale presence).
         """
         key = (to_b, width, gamma != 0.0, alpha != 1.0, np.dtype(rdtype).str,
-               self.H.version)
+               tier, self.H.version)
         cached = self._apply_time_cache.get(key)
         if cached is not None:
             return cached
@@ -737,6 +775,7 @@ class DistributedHemm:
                     PhantomArray(tuple(Hij.shape), rdtype),
                     PhantomArray((xrows, width), rdtype),
                     op_a="C" if to_b else "N", kind="hemm", compute=False,
+                    charge_dtype=tier,
                 )
                 if gamma != 0.0:
                     proxy = PhantomArray((rows, width), rdtype)
@@ -755,7 +794,7 @@ class DistributedHemm:
         return times
 
     def _apply_pipelined(self, X, cols, width, to_b, alpha, gamma, out,
-                         dedup, fused, rdtype, payload):
+                         dedup, fused, rdtype, payload, tier=None):
         """Chunked nonblocking execution of an apply (DESIGN.md §5d).
 
         The width-wide block is split into
@@ -813,7 +852,7 @@ class DistributedHemm:
             aliased = False
         elif fused and to_b:
             panels, base = self._fused_cb_panels(
-                X, cols, width, alpha, gamma, out, rdtype
+                X, cols, width, alpha, gamma, out, rdtype, tier
             )
             groups = [
                 (grid.col_comm(j),
@@ -824,7 +863,7 @@ class DistributedHemm:
             aliased = True
         elif fused:
             tgts = self._fused_bc_targets(
-                X, cols, width, alpha, gamma, out, rdtype
+                X, cols, width, alpha, gamma, out, rdtype, tier
             )
             groups = [
                 (grid.row_comm(i), [tgts[i]] * q, False, False)
@@ -836,7 +875,7 @@ class DistributedHemm:
         else:
             partials = self._block_partials(
                 X, cols, width, to_b, alpha, gamma,
-                out if dedup else None, rdtype, persistent=not dedup,
+                out if dedup else None, rdtype, tier, persistent=not dedup,
             )
             if to_b:
                 groups = [
@@ -862,7 +901,7 @@ class DistributedHemm:
 
         # ---- chunked model loop: charge k, wait k-1, issue k ----
         edges = _chunk_edges(width, replication.filter_pipeline_chunks())
-        times = self._apply_times(to_b, width, alpha, gamma, rdtype)
+        times = self._apply_times(to_b, width, alpha, gamma, rdtype, tier)
         # compressed payloads shrink the wire bytes the chunk durations
         # and stagings are derived from (1.0 exactly when inactive)
         ratio = payload_ratio(rdtype, payload) if payload is not None else 1.0

@@ -42,6 +42,9 @@ __all__ = [
     "filter_dtype",
     "set_filter_dtype",
     "filter_dtype_scope",
+    "qr_dtype",
+    "set_qr_dtype",
+    "qr_dtype_scope",
     "comm_compress",
     "set_comm_compress",
     "comm_compress_scope",
@@ -145,8 +148,9 @@ def filter_pipeline(enabled: bool, chunks: int | None = None):
         set_filter_pipeline(prev_enabled, prev_chunks)
 
 
-_FILTER_DTYPES = ("fp64", "fp32")
-_COMPRESS_PAYLOADS = ("none", "fp32", "bf16")
+_FILTER_DTYPES = ("fp64", "fp32", "bf16", "fp16", "auto")
+_COMPRESS_PAYLOADS = ("none", "fp32", "bf16", "fp16")
+_QR_DTYPES = ("fp64", "fp32", "bf16", "fp16", "auto")
 
 
 def _filter_dtype_from_env() -> str:
@@ -159,24 +163,39 @@ def _compress_from_env() -> str:
     return raw if raw in _COMPRESS_PAYLOADS else "none"
 
 
-#: Mixed-precision Chebyshev filter (DESIGN.md §5g).  ``"fp64"`` (the
-#: default) is the seed path byte for byte; ``"fp32"`` asks the solver's
-#: precision policy (``repro.core.precision``) to run the filter in
-#: single precision while its condest-driven bounds say it is safe,
-#: promoting back to fp64 filtering otherwise.  QR/RR/residuals always
-#: run in fp64.
+def _qr_dtype_from_env() -> str:
+    raw = os.environ.get("REPRO_QR_DTYPE", "").strip().lower()
+    return raw if raw in _QR_DTYPES else "fp64"
+
+
+#: Mixed-precision Chebyshev filter (DESIGN.md §5g/§5j).  ``"fp64"``
+#: (the default) is the seed path byte for byte; the narrow modes ask
+#: the solver's precision policy (``repro.core.precision``) to start the
+#: filter on a narrow tier while its condest-driven bounds say it is
+#: safe, climbing the fp16/bf16 -> fp32 -> fp64 ladder otherwise.
+#: ``"auto"`` starts the cascade at bf16.  RR/residuals always run in
+#: fp64; QR precision has its own switch (``qr_dtype``).
 _FILTER_DTYPE = _filter_dtype_from_env()
 
 #: Compressed filter collectives (DESIGN.md §5g).  ``"none"`` (the
-#: default) keeps full-width payloads; ``"fp32"``/``"bf16"`` quantize
-#: the HEMM reduction payloads of the filter hot path to 4-/2-byte real
-#: words with fp64 accumulation.  Off by default: quantization perturbs
-#: numerics, so the exact-reproduction default stays off.
+#: default) keeps full-width payloads; ``"fp32"``/``"bf16"``/``"fp16"``
+#: quantize the HEMM reduction payloads of the filter hot path to
+#: 4-/2-byte real words with fp64 accumulation.  Off by default:
+#: quantization perturbs numerics, so the exact-reproduction default
+#: stays off.
 _COMM_COMPRESS = _compress_from_env()
+
+#: Mixed-precision CholeskyQR2 (DESIGN.md §5j).  ``"fp64"`` (the
+#: default) keeps the whole QR phase in the input precision.  A narrow
+#: mode runs the *first* Gram+Cholesky+TRSM pass in that precision when
+#: the doubling bound ``cond(V) * eps_t <= guardband`` admits it; the
+#: second pass always runs fp64 and restores full orthogonality.
+#: ``"auto"`` picks the narrowest admitted tier per QR call.
+_QR_DTYPE = _qr_dtype_from_env()
 
 
 def filter_dtype() -> str:
-    """Requested filter working precision: ``"fp64"`` or ``"fp32"``."""
+    """Requested filter working precision (one of ``_FILTER_DTYPES``)."""
     return _FILTER_DTYPE
 
 
@@ -202,8 +221,36 @@ def filter_dtype_scope(mode: str):
         set_filter_dtype(prev)
 
 
+def qr_dtype() -> str:
+    """Requested QR first-pass precision (one of ``_QR_DTYPES``)."""
+    return _QR_DTYPE
+
+
+def set_qr_dtype(mode: str) -> str:
+    """Set the global QR precision mode; returns the previous value."""
+    global _QR_DTYPE
+    mode = str(mode).strip().lower()
+    if mode not in _QR_DTYPES:
+        raise ValueError(
+            f"qr dtype must be one of {_QR_DTYPES}, got {mode!r}")
+    prev = _QR_DTYPE
+    _QR_DTYPE = mode
+    return prev
+
+
+@contextlib.contextmanager
+def qr_dtype_scope(mode: str):
+    """Context manager scoping the QR precision mode."""
+    prev = set_qr_dtype(mode)
+    try:
+        yield
+    finally:
+        set_qr_dtype(prev)
+
+
 def comm_compress() -> str:
-    """Collective payload compression: ``"none"``, ``"fp32"`` or ``"bf16"``."""
+    """Collective payload compression: ``"none"``, ``"fp32"``, ``"bf16"``
+    or ``"fp16"``."""
     return _COMM_COMPRESS
 
 

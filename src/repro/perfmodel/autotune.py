@@ -55,10 +55,24 @@ __all__ = [
 DEFAULT_CHUNKS = (0, 4)
 #: collective algorithms tried
 DEFAULT_ALGOS = ("ring", "tree", "hierarchical", "auto")
-#: (filter_dtype, comm_compress) pairs tried when precision tuning is
-#: requested (``repro tune --precision``); the default candidate set
-#: stays fp64-only so untuned results remain bit-identical to the seed
-DEFAULT_PRECISION_OPTIONS = (("fp64", "none"), ("fp32", "none"), ("fp32", "fp32"))
+#: ``(filter_dtype, comm_compress[, qr_dtype])`` tuples spanning the
+#: precision ladder (DESIGN.md §5j).  :func:`autotune` folds these into
+#: its default candidate set, so ``repro solve --tuned`` searches the
+#: precision cascade out of the box; ties always break toward fp64
+#: (and the fp64 default config is always a candidate), so a tuned run
+#: never models slower — or less precise at equal time — than the seed.
+DEFAULT_PRECISION_OPTIONS = (
+    ("fp64", "none", "fp64"),
+    ("fp32", "none", "fp64"),
+    ("fp32", "fp32", "auto"),
+    ("bf16", "bf16", "auto"),
+    ("fp16", "fp16", "auto"),
+)
+
+#: tie-break orderings: lower index = preferred (wider / less lossy)
+_DTYPE_ORDER = {"fp64": 0, "fp32": 1, "bf16": 2, "fp16": 3, "auto": 4}
+_PAYLOAD_ORDER = {"none": 0, "fp32": 1, "bf16": 2, "fp16": 3}
+_QR_ORDER = {"fp64": 0, "auto": 1, "fp32": 2, "bf16": 3, "fp16": 4}
 
 
 @dataclass(frozen=True)
@@ -71,8 +85,9 @@ class TuneConfig:
     pipeline_chunks: int = 0     # 0 = blocking filter
     hemm_fusion: bool = False
     overlap: float | None = None # None = backend model's default
-    filter_dtype: str = "fp64"   # mixed-precision filter (DESIGN.md §5g)
+    filter_dtype: str = "fp64"   # precision-cascade filter (DESIGN.md §5j)
     comm_compress: str = "none"  # compressed allreduce payload dtype
+    qr_dtype: str = "fp64"       # mixed CholeskyQR2 first-pass precision
 
     def label(self) -> str:
         bits = [f"{self.p}x{self.q}", self.algo,
@@ -84,12 +99,15 @@ class TuneConfig:
             bits.append(f"filter={self.filter_dtype}")
         if self.comm_compress != "none":
             bits.append(f"compress={self.comm_compress}")
+        if self.qr_dtype != "fp64":
+            bits.append(f"qr={self.qr_dtype}")
         return " ".join(bits)
 
     def _score_key(self) -> tuple:
         """Model-relevant projection (fusion is modeled-time neutral)."""
         return (self.p, self.q, self.algo, self.pipeline_chunks,
-                self.overlap, self.filter_dtype, self.comm_compress)
+                self.overlap, self.filter_dtype, self.comm_compress,
+                self.qr_dtype)
 
 
 @dataclass(frozen=True)
@@ -152,14 +170,15 @@ def enumerate_candidates(
     chunk_options: tuple[int, ...] = DEFAULT_CHUNKS,
     fusion_options: tuple[bool, ...] = (False, True),
     overlaps: tuple[float | None, ...] = (None,),
-    precision_options: tuple[tuple[str, str], ...] = (("fp64", "none"),),
+    precision_options: tuple[tuple, ...] = (("fp64", "none"),),
 ) -> list[TuneConfig]:
     """The candidate grid; always contains :func:`default_config`.
 
-    ``precision_options`` lists ``(filter_dtype, comm_compress)`` pairs;
-    the default enumerates fp64-only (opt in to mixed precision with
-    :data:`DEFAULT_PRECISION_OPTIONS`, as ``repro tune --precision``
-    does).
+    ``precision_options`` lists ``(filter_dtype, comm_compress)`` pairs
+    or ``(filter_dtype, comm_compress, qr_dtype)`` triples (the omitted
+    QR precision defaults to fp64); the parameter's own default
+    enumerates fp64-only — :func:`autotune` opts its default candidate
+    set into :data:`DEFAULT_PRECISION_OPTIONS`.
     """
     cands = []
     for p, q in grid_factorizations(n_ranks):
@@ -170,11 +189,14 @@ def enumerate_candidates(
                     raise ValueError(f"pipeline chunk counts must be 0 or >= 2, got {chunks}")
                 for fusion in fusion_options:
                     for overlap in overlaps:
-                        for fdt, comp in precision_options:
+                        for opt in precision_options:
+                            fdt, comp, *rest = opt
+                            qdt = rest[0] if rest else "fp64"
                             cands.append(TuneConfig(
                                 p=p, q=q, algo=algo, pipeline_chunks=chunks,
                                 hemm_fusion=fusion, overlap=overlap,
                                 filter_dtype=fdt, comm_compress=comp,
+                                qr_dtype=qdt,
                             ))
     default = default_config(n_ranks)
     if default not in cands:
@@ -231,6 +253,7 @@ def applied(cfg: TuneConfig, *, n_ranks: int, backend,
         comm_compress_scope,
         filter_dtype_scope,
         hemm_fusion,
+        qr_dtype_scope,
     )
 
     grid = _build_cluster(
@@ -243,7 +266,8 @@ def applied(cfg: TuneConfig, *, n_ranks: int, backend,
                              cfg.pipeline_chunks or None), \
                 hemm_fusion(cfg.hemm_fusion), \
                 filter_dtype_scope(cfg.filter_dtype), \
-                comm_compress_scope(cfg.comm_compress):
+                comm_compress_scope(cfg.comm_compress), \
+                qr_dtype_scope(cfg.qr_dtype):
             yield grid
     finally:
         grid.cluster.close()
@@ -257,6 +281,20 @@ def _dry_run(cfg: TuneConfig, *, n_ranks, N, nev, nex, backend, machine,
     from repro.core.lanczos import SpectralBounds
     from repro.distributed import DistributedHermitian
 
+    trace = ConvergenceTrace.fixed(iterations, nev + nex, deg=deg)
+    if cfg.qr_dtype != "fp64":
+        # the fixed trace records cond_est = 1.0, which the doubling
+        # gate admits — replay the recorded CholeskyQR2 iterations
+        # through the mixed first pass so the candidate's QR-phase
+        # advantage is scored by the same code path a solve charges
+        from repro.core.qr import qr_work_precision
+
+        qwork = qr_work_precision(np.dtype(dtype), cfg.qr_dtype, 1.0)
+        if qwork is not None:
+            for rec in trace.records:
+                if rec.qr_variant == "CholeskyQR2":
+                    rec.qr_variant = f"mCholeskyQR2[{qwork.token}]"
+
     # dry runs are model-only: pin the orchestrated transport so a
     # REPRO_BACKEND=mp environment never spawns workers for phantoms
     with applied(cfg, n_ranks=n_ranks, backend=backend, machine=machine,
@@ -266,7 +304,7 @@ def _dry_run(cfg: TuneConfig, *, n_ranks, N, nev, nex, backend, machine,
         Hd = DistributedHermitian.phantom(grid, N, np.dtype(dtype))
         solver = ChaseSolver(grid, Hd, ChaseConfig(nev=nev, nex=nex, deg=deg))
         res = solver.solve_phantom(
-            ConvergenceTrace.fixed(iterations, nev + nex, deg=deg),
+            trace,
             bounds=SpectralBounds(3.0, -1.0, 1.0),
         )
     filt = res.timings.get("Filter")
@@ -303,7 +341,9 @@ def autotune(
 
     backend = backend if backend is not None else CommBackend.NCCL
     cands = candidates if candidates is not None \
-        else enumerate_candidates(n_ranks)
+        else enumerate_candidates(
+            n_ranks, precision_options=DEFAULT_PRECISION_OPTIONS
+        )
     default = default_config(n_ranks)
     if default not in cands:
         cands = [default, *cands]
@@ -336,9 +376,11 @@ def autotune(
     results.sort(key=lambda r: (
         r.makespan,
         not r.config.hemm_fusion,
-        # at equal modeled time prefer full precision / no compression
-        r.config.filter_dtype != "fp64",
-        r.config.comm_compress != "none",
+        # at equal modeled time prefer the widest precision / least
+        # lossy wire: fp64 before fp32 before the half tiers
+        _DTYPE_ORDER.get(r.config.filter_dtype, len(_DTYPE_ORDER)),
+        _PAYLOAD_ORDER.get(r.config.comm_compress, len(_PAYLOAD_ORDER)),
+        _QR_ORDER.get(r.config.qr_dtype, len(_QR_ORDER)),
         r.config.pipeline_chunks,
         algo_order.get(r.config.algo, len(algo_order)),
         abs(r.config.p - r.config.q),

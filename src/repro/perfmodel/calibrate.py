@@ -64,16 +64,20 @@ __all__ = [
 ]
 
 
-def measure_rate(kind: str, n: int = 512, repeats: int = 3) -> float:
-    """Measured FLOP/s of one local kernel class (real double).
+def measure_rate(kind: str, n: int = 512, repeats: int = 3,
+                 dtype=np.float64) -> float:
+    """Measured FLOP/s of one local kernel class.
 
-    ``kind`` is one of ``gemm``, ``syrk``, ``potrf``, ``geqrf``.
+    ``kind`` is one of ``gemm``, ``syrk``, ``potrf``, ``geqrf``;
+    ``dtype`` picks the working precision (fp32 measures the local
+    BLAS's single-precision rate for the §5j rate table).
     """
     rng = np.random.default_rng(0)
-    A = rng.standard_normal((n, n))
-    B = rng.standard_normal((n, n))
-    G = A @ A.T + n * np.eye(n)
-    tall = rng.standard_normal((4 * n, n // 4))
+    dt = np.dtype(dtype)
+    A = rng.standard_normal((n, n)).astype(dt, copy=False)
+    B = rng.standard_normal((n, n)).astype(dt, copy=False)
+    G = (A @ A.T + n * np.eye(n, dtype=dt)).astype(dt, copy=False)
+    tall = rng.standard_normal((4 * n, n // 4)).astype(dt, copy=False)
 
     if kind == "gemm":
         flops = 2.0 * n**3
@@ -149,18 +153,29 @@ def measure_bandwidth(nbytes: int = 64 * 1024 * 1024, repeats: int = 3) -> float
     return 2 * nbytes / best  # read + write
 
 
-def calibrate_local_machine(n: int = 512) -> MachineSpec:
+def calibrate_local_machine(n: int = 512,
+                            half_rate_factor: float = 4.0) -> MachineSpec:
     """A single-node machine model with locally measured rates.
 
     The 'GPU' of the model is the host BLAS itself (this is a CPU-only
     calibration); links are fast local-memory placeholders, making the
     model useful for predicting *compute-bound* behaviour of the
     simulated algorithms on this machine.
+
+    The per-dtype **rate table** (DESIGN.md §5j) is calibrated too: the
+    fp32 factor is the measured fp32/fp64 GEMM rate ratio (clamped to
+    ``[1, 4]`` — a local BLAS can fall anywhere between "no win" and
+    the theoretical 4x of bandwidth-bound half traffic), while the half
+    tiers keep ``half_rate_factor`` (host BLAS has no fp16/bf16 GEMM to
+    measure; override after measuring on real accelerator hardware).
+    fp64 is always 1.0 by construction and never appears in the table.
     """
     gemm = measure_rate("gemm", n)
     level3 = measure_rate("syrk", n)
     factor = measure_rate("potrf", n)
     geqrf = measure_rate("geqrf", n)
+    gemm32 = measure_rate("gemm", n, dtype=np.float32)
+    fp32_factor = max(1.0, min(4.0, gemm32 / gemm))
     bw = measure_bandwidth()
     dev = DeviceSpec(
         name="local-blas",
@@ -172,6 +187,11 @@ def calibrate_local_machine(n: int = 512) -> MachineSpec:
         launch_overhead=2e-6,
         eff_half_flops=5e6,
         memory_bytes=8 * 1024**3,
+        rate_table=(
+            ("fp32", fp32_factor),
+            ("bf16", float(half_rate_factor)),
+            ("fp16", float(half_rate_factor)),
+        ),
     )
     link = LinkSpec("local", latency=5e-7, bandwidth=bw)
     return MachineSpec(

@@ -17,7 +17,10 @@ from repro.perfmodel.machine import DeviceSpec
 __all__ = [
     "complex_factor",
     "bytes_per_scalar",
+    "elem_bytes",
+    "dtype_token",
     "dtype_rate_factor",
+    "DEFAULT_RATE_FACTORS",
     "gemm_flops",
     "syrk_flops",
     "potrf_flops",
@@ -56,16 +59,72 @@ def bytes_per_scalar(dtype) -> float:
     return dt.itemsize / 2.0 if dt.kind == "c" else float(dt.itemsize)
 
 
-def dtype_rate_factor(dtype) -> float:
+def elem_bytes(dtype, like=None) -> float:
+    """Bytes of one *element* of ``dtype``.
+
+    For NumPy dtypes this is the plain itemsize (``complex128`` ->
+    16.0).  For precision tokens (``"fp16"``/``"bf16"``/...) the word
+    width is doubled when ``like`` is a complex dtype — a complex half
+    element is two 2-byte real words.  Memory-model working sets and
+    cast charges size 2-byte tiers through this helper instead of
+    reading ``itemsize`` off the (wider) emulation storage.
+    """
+    if isinstance(dtype, str):
+        width = bytes_per_scalar(dtype)
+        if like is not None and np.dtype(like).kind == "c":
+            return 2.0 * width
+        return width
+    return float(np.dtype(dtype).itemsize)
+
+
+def dtype_token(dtype) -> str:
+    """Canonical precision token (``"fp64"``/``"fp32"``/``"fp16"``/
+    ``"bf16"``) for a dtype or token string, keyed on the real word
+    width for NumPy dtypes."""
+    if isinstance(dtype, str):
+        token = dtype.strip().lower()
+        return "bf16" if token in ("bf16", "bfloat16") else token
+    width = bytes_per_scalar(dtype)
+    if width <= 2.0:
+        return "fp16"
+    return "fp32" if width <= 4.0 else "fp64"
+
+
+#: Fallback throughput multipliers relative to the device's calibrated
+#: fp64 rates, used when the device carries no calibrated rate table.
+#: fp64 is *exactly* 1.0 (the bit-identity gates depend on it); fp32 is
+#: the classic 2x of vendor BLAS; the half tiers default to 4x — the
+#: conservative word-width ratio, far below tensor-core peaks, and
+#: overridable per machine via ``perfmodel.calibrate``.
+DEFAULT_RATE_FACTORS = {
+    "fp64": 1.0,
+    "fp32": 2.0,
+    "bf16": 4.0,
+    "fp16": 4.0,
+}
+
+
+def dtype_rate_factor(dtype, device: DeviceSpec | None = None) -> float:
     """Throughput multiplier of ``dtype`` relative to the device's
     calibrated double-precision rates.
 
-    Vendor BLAS sustains close to 2x the fp64 FLOP rate in fp32 (half
-    the word traffic through the same FMA pipes), so the factor is the
-    word-width ratio ``8 / bytes_per_scalar``, floored at 1.0 —
-    ``float64``/``complex128`` map to exactly 1.0 so the default
-    configuration multiplies rates by 1.0 and stays bit-identical.
+    Resolution order: the device's calibrated per-dtype rate table
+    (``DeviceSpec.rate_factor``) when a device is given, then
+    :data:`DEFAULT_RATE_FACTORS`, then the word-width ratio
+    ``8 / bytes_per_scalar`` floored at 1.0.  ``float64``/``complex128``
+    map to exactly 1.0 on every path so the default configuration
+    multiplies rates by 1.0 and stays bit-identical.
     """
+    token = dtype_token(dtype)
+    if token == "fp64":
+        return 1.0
+    if device is not None:
+        factor = device.rate_factor(token)
+        if factor is not None:
+            return float(factor)
+    factor = DEFAULT_RATE_FACTORS.get(token)
+    if factor is not None:
+        return factor
     return max(1.0, 8.0 / bytes_per_scalar(dtype))
 
 
@@ -139,7 +198,7 @@ class KernelTimeModel:
         if kind in _RATE_ATTR:
             rate = getattr(dev, _RATE_ATTR[kind])
             if dtype is not None:
-                factor = dtype_rate_factor(dtype)
+                factor = dtype_rate_factor(dtype, dev)
                 if factor != 1.0:
                     rate = rate * factor
             eff = flops / (flops + dev.eff_half_flops) if flops > 0 else 0.0

@@ -23,6 +23,15 @@ class DeviceSpec:
     kernels account for their higher flop count in the kernel model, not
     here.  ``eff_half_flops`` parameterizes the small-problem efficiency
     ramp: a kernel of ``f`` flops runs at ``rate * f / (f + eff_half_flops)``.
+
+    ``rate_table`` holds the calibrated throughput multipliers of the
+    narrow precisions relative to the fp64 rates (DESIGN.md §5j).  The
+    defaults are the conservative word-width ratios — fp32 the classic
+    2x of vendor BLAS, the half tiers 4x (far below tensor-core peaks);
+    ``perfmodel.calibrate`` measures and overrides them per machine.
+    fp64 is *never* in the table: its factor is exactly 1.0 by
+    construction, so the default path multiplies rates by 1.0 and every
+    bit-identity gate survives.
     """
 
     name: str
@@ -34,6 +43,20 @@ class DeviceSpec:
     launch_overhead: float        # fixed per-kernel overhead (s)
     eff_half_flops: float         # flops at which efficiency reaches 50%
     memory_bytes: int             # device memory capacity
+    rate_table: tuple[tuple[str, float], ...] = (
+        ("fp32", 2.0), ("bf16", 4.0), ("fp16", 4.0),
+    )
+
+    def rate_factor(self, token: str) -> float | None:
+        """Calibrated throughput multiplier for a precision token, or
+        ``None`` when the table has no entry (callers fall back to the
+        model-wide defaults).  fp64 is always exactly 1.0."""
+        if token in ("fp64", "float64", "complex128"):
+            return 1.0
+        for name, factor in self.rate_table:
+            if name == token:
+                return float(factor)
+        return None
 
 
 @dataclass(frozen=True)

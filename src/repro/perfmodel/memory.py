@@ -24,7 +24,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.perfmodel.kernels import elem_bytes
+
 __all__ = ["chase_new_scheme_bytes", "chase_lms_bytes", "fits_on_device"]
+
+
+def _work_elem_bytes(work_dtype, dtype) -> float | None:
+    """Per-element bytes of the narrow working set, or None when the
+    working precision adds no separate footprint.
+
+    ``work_dtype`` is either an NumPy dtype (fp32 mixed precision) or a
+    half-tier token string (``"fp16"``/``"bf16"``, DESIGN.md §5j) whose
+    modeled words are 2 bytes — 4 for the complex pairs — even though
+    the emulation stores them in fp32.
+    """
+    if work_dtype is None:
+        return None
+    if isinstance(work_dtype, str):
+        return elem_bytes(work_dtype, like=dtype)
+    if np.dtype(work_dtype) == np.dtype(dtype):
+        return None
+    return float(np.dtype(work_dtype).itemsize)
 
 
 def chase_new_scheme_bytes(
@@ -44,8 +64,8 @@ def chase_new_scheme_bytes(
     itemsize = np.dtype(dtype).itemsize
     elems = (N * N) / (p * q) + 2 * N * ne / p + 2 * N * ne / q + ne * ne
     total = elems * itemsize
-    if work_dtype is not None and np.dtype(work_dtype) != np.dtype(dtype):
-        wsize = np.dtype(work_dtype).itemsize
+    wsize = _work_elem_bytes(work_dtype, dtype)
+    if wsize is not None:
         welems = (N * N) / (p * q) + 3 * N * ne / p + 2 * N * ne / q
         total += welems * wsize
     return int(np.ceil(total))
@@ -68,8 +88,8 @@ def chase_lms_bytes(
     itemsize = np.dtype(dtype).itemsize
     elems = (N * N) / (nodes * gpus_per_node) + 3 * N * ne + ne * ne
     total = elems * itemsize
-    if work_dtype is not None and np.dtype(work_dtype) != np.dtype(dtype):
-        wsize = np.dtype(work_dtype).itemsize
+    wsize = _work_elem_bytes(work_dtype, dtype)
+    if wsize is not None:
         welems = (N * N) / (nodes * gpus_per_node) + 2 * N * ne
         total += welems * wsize
     return int(np.ceil(total))

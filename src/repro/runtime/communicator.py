@@ -143,8 +143,9 @@ def _quantize_inplace(arr, payload: str) -> None:
     """Replace ``arr`` with its value after a payload-width round trip.
 
     The collective then accumulates these quantized values in the
-    buffer's native (fp64) precision with the seed accumulation order —
-    fp32/bf16 payload, fp64 accumulate.
+    buffer's native (wider) precision with the seed accumulation order —
+    fp32/bf16/fp16 payload, wide accumulate (exactly what a NCCL
+    half-precision allreduce with fp32 accumulation does).
     """
     if payload == "fp32":
         target = np.complex64 if arr.dtype.kind == "c" else np.float32
@@ -155,6 +156,14 @@ def _quantize_inplace(arr, payload: str) -> None:
             arr.imag = _bf16_trunc(arr.imag)
         else:
             arr[...] = _bf16_trunc(arr)
+    elif payload == "fp16":
+        # IEEE half: round-trip through np.float16 per real word
+        # (overflow saturates to inf, as the hardware would)
+        if arr.dtype.kind == "c":
+            arr.real = arr.real.astype(np.float16)
+            arr.imag = arr.imag.astype(np.float16)
+        else:
+            arr[...] = arr.astype(np.float16)
     else:
         raise ValueError(f"unknown payload dtype {payload!r}")
 

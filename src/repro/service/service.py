@@ -32,6 +32,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core import ChaseConfig, ChaseSolver
+from repro.core.precision import narrow_dtype
 from repro.core.sequence import starting_basis
 from repro.perfmodel.autotune import (
     TuneConfig,
@@ -268,10 +269,19 @@ class EigenService:
             # the step that actually started cold
             cold_iter = entry.cold_iterations if entry is not None \
                 else res.iterations
+            # a mixed-precision tuned sequence stores its subspace at
+            # the filter's narrow dtype — half the cache budget, and
+            # get() upcasts transparently for the next (wide) step
+            store_dtype = None
+            if tcfg.filter_dtype != "fp64":
+                narrow = narrow_dtype(dtype)
+                if narrow != dtype:
+                    store_dtype = narrow
             self.cache.put(
                 job.sequence_id, step=job.step, basis=res.subspace,
                 bounds=res.bounds, degrees=res.degrees,
                 iterations=res.iterations, cold_iterations=cold_iter,
+                store_dtype=store_dtype,
             )
         payload.update(
             iterations_saved=saved,

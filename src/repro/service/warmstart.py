@@ -21,10 +21,21 @@ dimensions, dtype or checksum do not match is a **typed miss** (the
 entry is dropped and the solve proceeds cold) — a corrupted cache can
 cost iterations but can never produce a wrong answer.  Capacity is a
 byte budget with LRU eviction.
+
+Mixed precision (DESIGN.md §5j): a tuned sequence whose filter ran in a
+narrow working dtype may store its subspace narrowly (``put(...,
+store_dtype=...)`` — the converged basis is only accurate to the narrow
+tier's floor anyway, and the entry costs half the budget).  A later
+lookup at a *wider* dtype of the same kind upcasts the stored basis on
+the way out instead of missing: the cache keeps the narrow copy, the
+caller gets a widened view sealed with its own checksum.  Lookups at a
+*narrower* or kind-incompatible dtype remain typed ``DTYPE`` misses —
+downcasting would silently discard converged digits.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import zlib
 from collections import OrderedDict
@@ -136,7 +147,15 @@ class WarmStartCache:
         ``(None, miss)`` with the typed miss reason.  Mismatched and
         corrupt entries are evicted — they can never satisfy a future
         lookup of this sequence either.
+
+        A narrowly stored basis (``put(..., store_dtype=...)``) looked
+        up at a wider dtype of the same kind is a **hit**: the checksum
+        is verified on the stored bytes first, then the basis is upcast
+        into a fresh sealed entry for the caller while the cache keeps
+        the narrow original.  Only a narrower or kind-incompatible
+        request is a ``DTYPE`` miss.
         """
+        want = np.dtype(dtype)
         entry = self._entries.get(sequence_id)
         if entry is None:
             self.misses += 1
@@ -145,16 +164,26 @@ class WarmStartCache:
             self._drop(sequence_id)
             self.misses += 1
             return None, WarmStartMiss.DIMENSION
-        if entry.basis.dtype != np.dtype(dtype):
-            self._drop(sequence_id)
-            self.misses += 1
-            return None, WarmStartMiss.DTYPE
+        have = entry.basis.dtype
+        if have != want:
+            upcastable = (
+                have.kind == want.kind
+                and np.result_type(have, want) == want
+            )
+            if not upcastable:
+                self._drop(sequence_id)
+                self.misses += 1
+                return None, WarmStartMiss.DTYPE
         if not entry.intact:
             self._drop(sequence_id)
             self.misses += 1
             return None, WarmStartMiss.CORRUPT
         self._entries.move_to_end(sequence_id)
         self.hits += 1
+        if have != want:
+            entry = dataclasses.replace(
+                entry, basis=entry.basis.astype(want)
+            ).seal()
         return entry, None
 
     # ------------------------------------------------------------- updates
@@ -168,14 +197,24 @@ class WarmStartCache:
         degrees: np.ndarray | None = None,
         iterations: int = 0,
         cold_iterations: int | None = None,
+        store_dtype=None,
     ) -> bool:
         """Store (replace) the sequence's entry; returns False when the
         payload alone exceeds the byte budget (nothing is stored — the
-        budget is a hard cap, not a goal)."""
+        budget is a hard cap, not a goal).
+
+        ``store_dtype`` narrows the stored basis (mixed-precision
+        sequences, §5j): the subspace is only converged to the narrow
+        tier's floor, so storing it wide wastes budget.  ``get`` at the
+        wide dtype upcasts transparently.
+        """
+        stored = np.ascontiguousarray(basis)
+        if store_dtype is not None and np.dtype(store_dtype) != stored.dtype:
+            stored = np.ascontiguousarray(stored.astype(np.dtype(store_dtype)))
         entry = CacheEntry(
             sequence_id=sequence_id,
             step=int(step),
-            basis=np.ascontiguousarray(basis),
+            basis=stored,
             bounds=bounds,
             degrees=None if degrees is None
             else np.ascontiguousarray(degrees),

@@ -30,8 +30,11 @@ class TestParser:
         # default None: the flags never clobber a tuned winner's scopes
         args = build_parser().parse_args(["solve"])
         assert args.filter_dtype is None and args.comm_compress is None
+        # fp16/bf16/auto are valid cascade tiers (§5j); fp8 is not
+        args = build_parser().parse_args(["solve", "--filter-dtype", "fp16"])
+        assert args.filter_dtype == "fp16"
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["solve", "--filter-dtype", "fp16"])
+            build_parser().parse_args(["solve", "--filter-dtype", "fp8"])
 
 
 class TestCommands:

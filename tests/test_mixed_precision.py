@@ -208,8 +208,16 @@ def test_resolve_work_dtype():
     assert resolve_work_dtype(np.float64, "fp32") == np.dtype(np.float32)
     assert resolve_work_dtype(np.complex128, "fp32") == np.dtype(np.complex64)
     assert narrow_dtype(np.float32) == np.dtype(np.float32)
+    # half tiers resolve to a WorkPrecision: fp32 storage, 2-byte charge
+    for token in ("fp16", "bf16"):
+        wp = resolve_work_dtype(np.float64, token)
+        assert wp.token == token
+        assert wp.dtype == np.dtype(np.float32)
+        assert wp.charge == token
+    assert resolve_work_dtype(np.complex128, "bf16").dtype == \
+        np.dtype(np.complex64)
     with pytest.raises(ValueError):
-        resolve_work_dtype(np.float64, "fp16")
+        resolve_work_dtype(np.float64, "fp8")
 
 
 # ----------------------------------------------- compressed byte accounting
