@@ -29,9 +29,18 @@ STRONG_N, STRONG_NEV, STRONG_NEX = 115_459, 1200, 400
 
 
 def emit(name: str, text: str) -> None:
-    """Print an experiment's regenerated output and persist it."""
+    """Print an experiment's regenerated output and persist it.
+
+    When a campaign DB is active (``campaign_db_scope`` or the
+    ``REPRO_CAMPAIGN_DB`` env var — DESIGN.md §5k), the artifact is
+    also recorded there, so hand-run benches and campaign runs share
+    one results store instead of diverging copies of the same point.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    from repro.campaign.db import record_artifact_if_active
+
+    record_artifact_if_active(name, text)
     print(f"\n{text}\n")
 
 

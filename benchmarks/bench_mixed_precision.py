@@ -434,8 +434,31 @@ def main(argv=None) -> None:
         action="store_true",
         help="tiny problem sizes, single repeat (CI); enforces the gates",
     )
+    ap.add_argument(
+        "--campaign-db",
+        default=None,
+        help="also record every emitted table into this campaign DB "
+             "(shared results store, DESIGN.md §5k); the declarative "
+             "port of this bench is campaigns/mixed_precision.yml",
+    )
+    ap.add_argument(
+        "--campaign",
+        default="mixed_precision",
+        help="campaign name the artifacts are recorded under",
+    )
     args = ap.parse_args(argv)
 
+    if args.campaign_db:
+        from repro.campaign.db import CampaignDB, campaign_db_scope
+
+        with campaign_db_scope(
+            CampaignDB(args.campaign_db), args.campaign
+        ):
+            return _run(args)
+    return _run(args)
+
+
+def _run(args) -> None:
     if args.smoke:
         repeats = 1
         phantom = (12_000, 600, 200, 20, 1)

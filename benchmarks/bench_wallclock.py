@@ -548,8 +548,31 @@ def main(argv=None) -> None:
         action="store_true",
         help="tiny problem sizes, single repeat (CI)",
     )
+    ap.add_argument(
+        "--campaign-db",
+        default=None,
+        help="also record every emitted table into this campaign DB "
+             "(shared results store, DESIGN.md §5k); the declarative "
+             "port of this bench is campaigns/wallclock.yml",
+    )
+    ap.add_argument(
+        "--campaign",
+        default="wallclock",
+        help="campaign name the artifacts are recorded under",
+    )
     args = ap.parse_args(argv)
 
+    if args.campaign_db:
+        from repro.campaign.db import CampaignDB, campaign_db_scope
+
+        with campaign_db_scope(
+            CampaignDB(args.campaign_db), args.campaign
+        ):
+            return _run(args)
+    return _run(args)
+
+
+def _run(args) -> None:
     if args.smoke:
         repeats = 1
         solves = [(300, 32, 16, 2, 2, np.float64)]

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands mirror the library's main entry points::
+Eight subcommands mirror the library's main entry points::
 
     python -m repro solve --n 600 --nev 30                 # serial solve
     python -m repro solve --n 400 --nev 20 --distributed \\
@@ -13,6 +13,9 @@ Seven subcommands mirror the library's main entry points::
                                                            # service (§5i)
     python -m repro reproduce -o report.txt                # condensed
                                                            # end-to-end run
+    python -m repro campaign run \\
+        --spec campaigns/mixed_precision.yml               # declarative
+                                                           # campaign (§5k)
 
 ``tune`` ranks grid shape x collective algorithm x filter pipelining x
 HEMM fusion by modeled makespan (model-only dry runs, no numerics);
@@ -500,6 +503,150 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_smoke(args) -> int:
+    """The CI gate: run the built-in smoke campaign, interrupt it
+    mid-run, resume from the sqlite DB, and require the end state (DB
+    dump, text table, JSON section) byte-identical to an uninterrupted
+    run — with the resumed pass provably skipping the DONE rows."""
+    import json as _json
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignDB,
+        CampaignInterrupted,
+        CampaignRunner,
+        campaign_section,
+        campaign_table,
+        smoke_spec,
+    )
+
+    spec = smoke_spec()
+    total = len(spec.expand())
+    kill_after = 2
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        interrupted = CampaignDB(tmp / "interrupted.sqlite")
+        try:
+            CampaignRunner(
+                spec, interrupted, interrupt_after=kill_after,
+                interrupt_mid_run=True,
+            ).run()
+            print("smoke: FAIL — interrupt never fired")
+            return 1
+        except CampaignInterrupted as exc:
+            print(f"smoke: {exc}")
+        resumed = CampaignRunner(spec, interrupted).run()
+        print(
+            f"smoke: resumed — executed {resumed.executed}, "
+            f"skipped {resumed.resumed_skips} DONE row(s), "
+            f"recovered {resumed.recovered} stale RUNNING row(s)"
+        )
+        reference = CampaignDB(tmp / "reference.sqlite")
+        fresh = CampaignRunner(spec, reference).run()
+
+        failures = []
+        if resumed.executed != total - kill_after:
+            failures.append(
+                f"resume executed {resumed.executed} runs, expected "
+                f"{total - kill_after} (DONE rows must be skipped)"
+            )
+        if resumed.resumed_skips != kill_after:
+            failures.append(
+                f"resume skipped {resumed.resumed_skips} DONE rows, "
+                f"expected {kill_after}"
+            )
+        if interrupted.dump() != reference.dump():
+            failures.append("resumed DB dump differs from uninterrupted")
+        table = campaign_table(interrupted, spec.name)
+        if table != campaign_table(reference, spec.name):
+            failures.append("resumed report table differs")
+        section = campaign_section(interrupted, spec.name)
+        if section != campaign_section(reference, spec.name):
+            failures.append("resumed JSON section differs")
+        missed = [
+            k for k, v in section.items()
+            if k.startswith("target_met_") and not v
+        ]
+        if missed:
+            failures.append(f"smoke gates missed: {missed}")
+        if resumed.failed or fresh.failed:
+            failures.append("smoke campaign had FAILED runs")
+        print(table)
+        print(_json.dumps(
+            {k: v for k, v in section.items()
+             if k.startswith("target_met_")},
+            indent=2, sort_keys=True,
+        ))
+        for f in failures:
+            print(f"smoke: FAIL — {f}")
+        print(f"campaign smoke: {'FAIL' if failures else 'OK'} "
+              f"({total} runs, interrupted after {kill_after}, resumed)")
+        return 1 if failures else 0
+
+
+def _cmd_campaign(args) -> int:
+    from pathlib import Path
+
+    from repro.campaign import (
+        CampaignDB,
+        CampaignInterrupted,
+        CampaignRunner,
+        SpecError,
+        campaign_table,
+        load_spec,
+        write_report,
+    )
+
+    if args.smoke:
+        return _campaign_smoke(args)
+    if not args.spec:
+        print("campaign: --spec is required (or --smoke)")
+        return 2
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"campaign: bad spec — {exc}")
+        return 2
+    db_path = Path(args.db) if args.db else \
+        Path(args.spec).with_suffix(".sqlite")
+    db = CampaignDB(db_path)
+
+    if args.action == "run":
+        runner = CampaignRunner(
+            spec, db, shards=args.shards,
+            interrupt_after=args.interrupt_after,
+        )
+        try:
+            stats = runner.run(only=args.only)
+        except CampaignInterrupted as exc:
+            print(f"campaign {spec.name!r}: {exc} — resume with the "
+                  f"same command (db: {db_path})")
+            return 3
+        print(
+            f"campaign {spec.name!r}: {stats.executed} executed, "
+            f"{stats.resumed_skips} skipped as DONE, "
+            f"{stats.failed} failed, {stats.recovered} recovered "
+            f"(db: {db_path})"
+        )
+        return 1 if stats.failed else 0
+    if args.action == "status":
+        counts = db.counts(spec.name)
+        print(f"campaign {spec.name!r} ({db_path}):")
+        for state, n in sorted(counts.items()):
+            print(f"  {state:>8}: {n}")
+        print(campaign_table(db, spec.name))
+        return 0
+    # report: regenerate artifacts from DB queries alone
+    txt, js = write_report(
+        db, spec.name,
+        results_dir=args.results_dir, json_path=args.json,
+    )
+    print(campaign_table(db, spec.name))
+    print(f"report written to {txt} and merged into {js}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -651,6 +798,39 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--scale", type=int, default=240)
     s.add_argument("-o", "--output", default=None)
     s.set_defaults(func=_cmd_reproduce)
+
+    s = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns with a resumable run "
+             "database (DESIGN.md §5k)",
+    )
+    s.add_argument("action", choices=("run", "status", "report"),
+                   help="run (or resume) the campaign, show DB state, "
+                        "or regenerate reports from DB queries alone")
+    s.add_argument("--spec", default=None,
+                   help="campaign spec (YAML or JSON), e.g. "
+                        "campaigns/mixed_precision.yml")
+    s.add_argument("--db", default=None,
+                   help="sqlite run database "
+                        "(default: <spec>.sqlite next to the spec)")
+    s.add_argument("--shards", type=int, default=1,
+                   help="scheduler shards to fan runs out over")
+    s.add_argument("--only", default=None,
+                   help="restrict to runs whose label contains this "
+                        "substring")
+    s.add_argument("--interrupt-after", type=int, default=None,
+                   help="kill the campaign after this many executed "
+                        "runs (resume testing)")
+    s.add_argument("--results-dir", default="benchmarks/results",
+                   help="where 'report' writes campaign_<name>.txt")
+    s.add_argument("--json", default="BENCH_wallclock.json",
+                   help="JSON file 'report' merges its section into")
+    s.add_argument("--smoke", action="store_true",
+                   help="CI gate: built-in smoke campaign, "
+                        "interrupted mid-run and resumed; exits "
+                        "nonzero unless the resumed end state is "
+                        "byte-identical to an uninterrupted run")
+    s.set_defaults(func=_cmd_campaign)
     return p
 
 
